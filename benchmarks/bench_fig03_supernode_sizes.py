@@ -1,0 +1,48 @@
+"""Fig. 3 — uneven supernode sizes (the motivation for regular blocking).
+
+The paper shows that supernode shapes differ wildly between matrices:
+G3_circuit's supernodes are thin (rows in [4, 64), columns in [1, 32)),
+audikw_1's are fat (rows in [32, 512), columns in [2, 32)).  This bench
+detects supernodes on both analogues and prints the same height×width
+histogram; the assertions pin the qualitative contrast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import banner, prepared_baseline
+from repro.baseline import supernode_size_histogram
+
+EDGES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def _report(name: str):
+    bl = prepared_baseline(name)
+    part = bl.partition
+    hist = supernode_size_histogram(part, row_edges=EDGES, col_edges=EDGES)
+    print(f"\n{name}: {part.n_supernodes} supernodes, "
+          f"mean width {part.widths().mean():.2f}, "
+          f"mean height {part.heights().mean():.2f}, "
+          f"padding ratio {part.padding_ratio:.3f}")
+    labels = [f"[{EDGES[i]},{EDGES[i + 1]})" for i in range(len(EDGES) - 1)]
+    labels.append(f"[{EDGES[-1]},∞)")
+    print("rows\\cols " + " ".join(f"{l:>9s}" for l in labels))
+    for i, row in enumerate(hist):
+        print(f"{labels[i]:>9s} " + " ".join(f"{int(v):9d}" for v in row))
+    return part
+
+
+def test_fig03_supernode_size_distribution(benchmark):
+    banner("Fig. 3 — supernode size distribution (G3_circuit vs audikw_1)")
+    part_circuit = _report("G3_circuit")
+    part_fem = _report("audikw_1")
+    benchmark.pedantic(
+        lambda: supernode_size_histogram(part_fem), rounds=3, iterations=1
+    )
+    # paper's contrast: FEM supernodes are wider and taller than circuit's
+    assert part_fem.widths().mean() > part_circuit.widths().mean()
+    assert part_fem.heights().mean() > part_circuit.heights().mean()
+    # and both are *uneven*: no single bin holds everything
+    hist = supernode_size_histogram(part_fem, row_edges=EDGES, col_edges=EDGES)
+    assert (hist > 0).sum() >= 2

@@ -1,0 +1,61 @@
+"""Fig. 4 — density of the matrices SuperLU_DIST feeds to dense GEMM.
+
+The paper's second motivation: on ASIC_680k most GEMM operands are under
+10 % dense (dense BLAS wastes nearly all its work), on audikw_1 most are
+over 90 % dense, and CoupCons3D spreads across the range.  This bench
+factorises the three analogues with the supernodal baseline, records
+every Schur GEMM's operand densities, and prints the Fig. 4 histograms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import banner, prepared_baseline
+from repro.analysis import DENSITY_BIN_LABELS, gemm_density_histogram
+from repro.baseline import sn_factorize, sn_partition
+
+MATRICES = ("CoupCons3D", "ASIC_680k", "audikw_1")
+
+
+def _gemm_stats(name: str):
+    bl = prepared_baseline(name)
+    # factorise a fresh partition (prepared_baseline's panels stay pristine)
+    panels = sn_partition(bl.symbolic.filled, bl.partition)
+    stats = sn_factorize(panels)
+    return stats
+
+
+def test_fig04_gemm_density_distribution(benchmark):
+    banner("Fig. 4 — GEMM operand density distribution in the baseline")
+    hists = {}
+    for name in MATRICES:
+        stats = _gemm_stats(name)
+        hist = gemm_density_histogram(stats.gemms)
+        hists[name] = hist
+        print(f"\n{name}: {len(stats.gemms)} GEMMs")
+        print("bin       " + "  ".join(f"{l:>8s}" for l in DENSITY_BIN_LABELS))
+        for op in ("A", "B", "C"):
+            print(f"matrix {op}  "
+                  + "  ".join(f"{v:8.1f}" for v in hist[op]))
+    benchmark.pedantic(
+        lambda: gemm_density_histogram(_gemm_stats("ASIC_680k").gemms),
+        rounds=1,
+        iterations=1,
+    )
+    # Paper shapes: ASIC skews sparse (mass in [0,10)), audikw skews dense.
+    # At reduced scale the audikw analogue's supernodes are smaller than the
+    # real matrix's, so the reproducible claim is the *contrast*: the FEM
+    # matrix's GEMM operands are much denser than the circuit matrix's, and
+    # the circuit matrix's operands concentrate in the sparsest bins.
+    asic = hists["ASIC_680k"]
+    audi = hists["audikw_1"]
+    centers = np.arange(5.0, 100.0, 10.0)
+    assert asic["A"][:5].sum() > asic["A"][5:].sum()
+    mean_asic = float(np.dot(asic["A"], centers) / 100.0)
+    mean_audi = float(np.dot(audi["A"], centers) / 100.0)
+    print(f"\nmean GEMM A-operand density: ASIC {mean_asic:.1f}% "
+          f"vs audikw {mean_audi:.1f}%")
+    assert mean_audi > 2 * mean_asic
+    # target blocks (C) of the FEM matrix do reach the dense regime
+    assert audi["C"][9] > 20.0

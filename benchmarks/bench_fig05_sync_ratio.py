@@ -1,0 +1,58 @@
+"""Fig. 5 — synchronisation share of the baseline's numeric factorisation.
+
+The paper's third motivation: with level-set scheduling, SuperLU_DIST's
+synchronisation time grows with the process count, reaching up to ~60 %
+of the numeric factorisation time at 64 processes.  This bench simulates
+the baseline on 1–64 processes for the same six matrices and prints the
+sync/total ratio series.
+"""
+
+from __future__ import annotations
+
+from common import banner, baseline_sn_dag, prepared_baseline
+from repro.analysis import format_table
+from repro.baseline import simulate_superlu
+from repro.runtime import A100_PLATFORM
+
+MATRICES = (
+    "Si87H76",
+    "ASIC_680k",
+    "nlpkkt80",
+    "CoupCons3D",
+    "dielFilterV3real",
+    "ecology1",
+)
+PROCS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _series(name: str) -> list[float]:
+    bl = prepared_baseline(name)
+    dag = baseline_sn_dag(name)
+    out = []
+    for p in PROCS:
+        res, _ = simulate_superlu(
+            bl.panels, bl.partition, A100_PLATFORM, p, schedule="levelset", dag=dag
+        )
+        out.append(100.0 * res.sync_ratio())
+    return out
+
+
+def test_fig05_baseline_sync_ratio(benchmark):
+    banner("Fig. 5 — baseline sync time / numeric time (%), 1–64 processes")
+    rows = []
+    series = {}
+    for name in MATRICES:
+        s = _series(name)
+        series[name] = s
+        rows.append([name] + s)
+    print(format_table(
+        ["matrix"] + [f"p={p}" for p in PROCS], rows, float_fmt="{:.1f}"
+    ))
+    benchmark.pedantic(lambda: _series("ecology1"), rounds=1, iterations=1)
+    for name, s in series.items():
+        # single process has no waiting; multi-process does
+        assert s[0] == 0.0, name
+        assert max(s[1:]) > 0.0, name
+        # the paper's trend: sync share at high proc counts exceeds the
+        # 2-process share for every matrix
+        assert max(s[3:]) >= s[1] - 1e-9, name

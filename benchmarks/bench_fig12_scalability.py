@@ -1,0 +1,98 @@
+"""Fig. 12 — numeric-factorisation throughput scaling, 1–128 GPUs.
+
+The paper's headline figure: GFLOP/s of PanguLU and SuperLU_DIST on the
+A100 and MI50 clusters at 1–128 processes, for all 16 matrices.  Here
+both solvers' real task DAGs are replayed through the discrete-event
+simulator with the calibrated platform models; the useful-work numerator
+is PanguLU's structural FLOP count for both solvers (so padded FLOPs do
+not inflate the baseline's bars).
+
+Assertions pin the paper's shape: PanguLU beats the baseline on the
+geometric mean over matrices (at the high process counts that are the
+paper's headline), wins big on the irregular circuit matrix, and scales
+with the process count on FLOP-heavy matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import (
+    PROC_COUNTS,
+    banner,
+    baseline_sn_dag,
+    bench_matrices,
+    prepared_baseline,
+    prepared_pangulu,
+)
+from repro.analysis import format_table, geometric_mean
+from repro.baseline import simulate_superlu
+from repro.runtime import A100_PLATFORM, MI50_PLATFORM, simulate_pangulu
+
+
+def _series(name: str, platform) -> tuple[list[float], list[float]]:
+    pg = prepared_pangulu(name)
+    bl = prepared_baseline(name)
+    dag = baseline_sn_dag(name)
+    useful = pg.dag.total_flops
+    pangulu, baseline = [], []
+    for p in PROC_COUNTS:
+        sim = simulate_pangulu(pg.blocks, pg.dag, platform, p)
+        pangulu.append(sim.gflops)
+        res, _ = simulate_superlu(bl.panels, bl.partition, platform, p, dag=dag)
+        baseline.append(res.gflops(useful))
+    return pangulu, baseline
+
+
+def test_fig12_scalability(benchmark):
+    banner("Fig. 12 — simulated GFLOP/s, PanguLU vs baseline, 1–128 procs")
+    results = {}
+    for platform in (A100_PLATFORM, MI50_PLATFORM):
+        print(f"\n--- {platform.name} platform ---")
+        rows = []
+        for name in bench_matrices():
+            pgs, bls = _series(name, platform)
+            results[(platform.name, name)] = (pgs, bls)
+            rows.append([name, "PanguLU"] + pgs)
+            rows.append(["", "baseline"] + bls)
+        print(format_table(
+            ["matrix", "solver"] + [f"p={p}" for p in PROC_COUNTS],
+            rows,
+            float_fmt="{:.1f}",
+        ))
+
+    benchmark.pedantic(
+        lambda: simulate_pangulu(
+            prepared_pangulu(bench_matrices()[0]).blocks,
+            prepared_pangulu(bench_matrices()[0]).dag,
+            A100_PLATFORM,
+            16,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    for plat_name in ("A100", "MI50"):
+        speedups_128 = {
+            name: results[(plat_name, name)][0][-1]
+            / max(results[(plat_name, name)][1][-1], 1e-12)
+            for name in bench_matrices()
+        }
+        gm = geometric_mean(list(speedups_128.values()))
+        print(f"\n{plat_name}: PanguLU/baseline speedup at 128 procs: "
+              f"geomean {gm:.2f}x, range {min(speedups_128.values()):.2f}x – "
+              f"{max(speedups_128.values()):.2f}x "
+              "(paper: 2.53x / 2.79x geomean, up to 11.7x / 18.0x)")
+        assert gm > 1.0, f"{plat_name}: baseline won on geometric mean"
+        if "ASIC_680k" in speedups_128:
+            # the irregular circuit matrix is the paper's biggest win
+            assert speedups_128["ASIC_680k"] > gm * 0.8
+
+    # scaling shape: the FLOP-heaviest matrix gains from more processes
+    heavy = max(
+        bench_matrices(), key=lambda n: prepared_pangulu(n).dag.total_flops
+    )
+    pgs, _ = results[("A100", heavy)]
+    assert max(pgs) > 1.5 * pgs[0], (
+        f"{heavy} failed to scale: {pgs}"
+    )

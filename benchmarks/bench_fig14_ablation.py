@@ -1,0 +1,65 @@
+"""Fig. 14 — ablation of PanguLU's two optimisations on 128 GPUs.
+
+Three configurations, as in the paper:
+
+* **baseline** — one fixed mid-range kernel version per task type, and
+  level-set scheduling with barriers;
+* **kernel selection** — adaptive per-task kernel choice, still level-set
+  (paper: 1.0–2.2×, average 1.7×);
+* **kernel selection + synchronisation-free** — both optimisations
+  (paper: 2.3–5.4×, average 3.8×).
+
+Speedups are relative makespans of the simulated 128-process runs.
+"""
+
+from __future__ import annotations
+
+from common import banner, bench_matrices, prepared_pangulu
+from repro.analysis import format_table, geometric_mean
+from repro.runtime import A100_PLATFORM, simulate_pangulu
+
+NPROCS = 128
+
+
+def _ablation(name: str) -> tuple[float, float, float]:
+    pg = prepared_pangulu(name)
+    base = simulate_pangulu(
+        pg.blocks, pg.dag, A100_PLATFORM, NPROCS,
+        schedule="levelset", adaptive_kernels=False,
+    ).result.makespan
+    ksel = simulate_pangulu(
+        pg.blocks, pg.dag, A100_PLATFORM, NPROCS,
+        schedule="levelset", adaptive_kernels=True,
+    ).result.makespan
+    both = simulate_pangulu(
+        pg.blocks, pg.dag, A100_PLATFORM, NPROCS,
+        schedule="syncfree", adaptive_kernels=True,
+    ).result.makespan
+    return base, ksel, both
+
+
+def test_fig14_optimisation_ablation(benchmark):
+    banner(f"Fig. 14 — optimisation ablation at {NPROCS} procs (speedup over baseline)")
+    rows = []
+    ksel_speedups, both_speedups = {}, {}
+    for name in bench_matrices():
+        base, ksel, both = _ablation(name)
+        ksel_speedups[name] = base / ksel
+        both_speedups[name] = base / both
+        rows.append([name, 1.0, base / ksel, base / both])
+    print(format_table(
+        ["matrix", "baseline", "kernel selection", "ksel + sync-free"],
+        rows,
+    ))
+    gm_ksel = geometric_mean(list(ksel_speedups.values()))
+    gm_both = geometric_mean(list(both_speedups.values()))
+    print(f"\ngeomean: kernel selection {gm_ksel:.2f}x (paper 1.7x), "
+          f"both {gm_both:.2f}x (paper 3.8x)")
+    benchmark.pedantic(
+        lambda: _ablation(bench_matrices()[0]), rounds=1, iterations=1
+    )
+    # each optimisation layer must not hurt, and the composition must help
+    for name in bench_matrices():
+        assert ksel_speedups[name] >= 1.0 - 1e-9, name
+        assert both_speedups[name] >= ksel_speedups[name] - 1e-9, name
+    assert gm_both > gm_ksel > 1.0

@@ -1,0 +1,45 @@
+"""Extension bench — distributed triangular solve (phase 5) scaling.
+
+The paper describes the triangular solves as the final phase over the
+same block layout but does not dedicate a figure to them (see its
+citation [59] for the companion triangular-solve work).  This bench
+exercises the phase anyway: simulated solve makespan across process
+counts for three representative matrices, verifying the solve remains a
+small fraction of the numeric factorisation cost (the property that lets
+direct solvers amortise one factorisation over many solves).
+"""
+
+from __future__ import annotations
+
+from common import banner, prepared_pangulu
+from repro.analysis import format_table
+from repro.runtime import A100_PLATFORM, simulate_pangulu, simulate_tsolve
+
+MATRICES = ("ecology1", "ASIC_680k", "Si87H76")
+PROCS = (1, 4, 16, 64)
+
+
+def test_tsolve_scaling(benchmark):
+    banner("Extension — simulated triangular-solve scaling (phase 5)")
+    rows = []
+    for name in MATRICES:
+        pg = prepared_pangulu(name)
+        fact_t = simulate_pangulu(
+            pg.blocks, pg.dag, A100_PLATFORM, 1
+        ).result.makespan
+        solves = [simulate_tsolve(pg.blocks, A100_PLATFORM, p).makespan
+                  for p in PROCS]
+        rows.append([name, fact_t * 1e3] + [s * 1e3 for s in solves])
+        # one solve is far cheaper than the factorisation it follows
+        assert solves[0] < fact_t, name
+    print(format_table(
+        ["matrix", "factor p=1 (ms)"] + [f"solve p={p} (ms)" for p in PROCS],
+        rows,
+        float_fmt="{:.3f}",
+    ))
+    pg = prepared_pangulu(MATRICES[0])
+    benchmark.pedantic(
+        lambda: simulate_tsolve(pg.blocks, A100_PLATFORM, 4),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,85 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+at a Python-friendly scale.  Matrices and solver pipelines are prepared
+once per session and cached here; the scale knob and the matrix subset
+are controlled by environment variables:
+
+``REPRO_BENCH_SCALE``
+    Size multiplier for the synthetic analogues (default 0.2 — orders of
+    a few hundred; raise for closer-to-paper behaviour at more runtime).
+``REPRO_BENCH_MATRICES``
+    Comma-separated subset of the 16 paper matrix names (default: all).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro import PanguLU, SolverOptions
+from repro.baseline import BaselineOptions, SuperLUBaseline, build_sn_dag
+from repro.sparse import CSCMatrix, generate, paper_matrix_names
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+_SUBSET = os.environ.get("REPRO_BENCH_MATRICES", "")
+
+#: proc counts of the paper's scaling study (Fig. 12)
+PROC_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def bench_matrices() -> list[str]:
+    """Matrix names under test (paper order, optionally filtered)."""
+    names = paper_matrix_names()
+    if _SUBSET:
+        chosen = [s.strip() for s in _SUBSET.split(",") if s.strip()]
+        unknown = set(chosen) - set(names)
+        if unknown:
+            raise ValueError(f"unknown matrices in REPRO_BENCH_MATRICES: {unknown}")
+        names = [n for n in names if n in chosen]
+    return names
+
+
+@lru_cache(maxsize=None)
+def matrix(name: str) -> CSCMatrix:
+    """The analogue of a paper matrix at the benchmark scale."""
+    return generate(name, scale=SCALE, seed=0)
+
+
+@lru_cache(maxsize=None)
+def prepared_pangulu(name: str) -> PanguLU:
+    """PanguLU pipeline through preprocessing (blocks + DAG ready)."""
+    solver = PanguLU(matrix(name), SolverOptions())
+    solver.preprocess()
+    return solver
+
+
+@lru_cache(maxsize=None)
+def factorized_pangulu(name: str) -> PanguLU:
+    """PanguLU pipeline through numeric factorisation."""
+    solver = prepared_pangulu(name)
+    solver.factorize()
+    return solver
+
+
+@lru_cache(maxsize=None)
+def prepared_baseline(name: str) -> SuperLUBaseline:
+    """Baseline pipeline through preprocessing (panels + partition ready)."""
+    solver = SuperLUBaseline(matrix(name), BaselineOptions())
+    solver.preprocess()
+    return solver
+
+
+@lru_cache(maxsize=None)
+def baseline_sn_dag(name: str):
+    """The baseline's supernodal task DAG (cached; building it is the
+    expensive part of every baseline simulation)."""
+    bl = prepared_baseline(name)
+    return build_sn_dag(bl.panels, bl.partition)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(f"{title}   [scale={SCALE}]")
+    print("=" * 78)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Distributed-memory factorisation with real OS processes.
+
+Runs PanguLU's synchronisation-free protocol the way the paper's MPI
+version does: each rank owns its 2D block-cyclic shard of the matrix,
+factors its own blocks, and receives the operand blocks it needs as
+messages from their owners — no shared memory, no barriers.  The result
+is compared entry-for-entry against a sequential factorisation, and the
+message statistics show the communication the protocol actually needs.
+
+Run:  python examples/distributed_memory.py [nprocs] [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro import PanguLU
+from repro.core import factorize
+from repro.runtime import factorize_distributed
+from repro.sparse import generate
+
+
+def main() -> None:
+    nprocs = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+    a = generate("nlpkkt80", scale=scale)
+    print(f"matrix: nlpkkt80 analogue, n = {a.nrows}, nnz = {a.nnz}")
+
+    seq = PanguLU(a)
+    seq.preprocess()
+    t0 = time.perf_counter()
+    factorize(seq.blocks, seq.dag)
+    t_seq = time.perf_counter() - t0
+    print(f"sequential factorisation: {t_seq:.3f} s, {len(seq.dag)} tasks")
+
+    dist = PanguLU(a)
+    dist.preprocess()
+    t0 = time.perf_counter()
+    stats = factorize_distributed(dist.blocks, dist.dag, nprocs)
+    t_dist = time.perf_counter() - t0
+    print(f"distributed on {nprocs} processes: {t_dist:.3f} s")
+    print(f"  tasks per rank : {stats.tasks_per_proc}")
+    print(f"  block messages : {stats.messages_sent} "
+          f"({stats.block_bytes_sent / 1024:.1f} KiB of factor blocks)")
+
+    diff = float(np.abs(
+        dist.blocks.to_csc().to_dense() - seq.blocks.to_csc().to_dense()
+    ).max())
+    print(f"max |distributed − sequential| = {diff:.2e}")
+    print("(Python ranks pay pickling costs MPI ranks do not — this example "
+          "demonstrates protocol correctness, not speedup)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Explore the 17 sparse kernels and the decision-tree selector.
+
+Builds diagonal/panel/Schur blocks of increasing density from real
+symbolic fill, wall-clock-times every kernel variant on each (a miniature
+of the paper's Fig. 7 sweep), and shows which variant the decision trees
+pick — the mechanism behind the "Kernel selection" bar of Fig. 14.
+
+Run:  python examples/kernel_playground.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.kernels import (
+    GESSM_VARIANTS,
+    GETRF_VARIANTS,
+    SSSSM_VARIANTS,
+    TSTRF_VARIANTS,
+    KernelType,
+    SelectorPolicy,
+    TaskFeatures,
+    Workspace,
+    ssssm_flops_structural,
+)
+from repro.sparse import random_sparse
+from repro.symbolic import symbolic_symmetric
+
+
+def blocks_at_density(density: float, n: int = 96, seed: int = 0):
+    a = random_sparse(n, density, seed=seed)
+    f = symbolic_symmetric(a).filled
+    half = n // 2
+    top, bot = np.arange(half), np.arange(half, n)
+    return (
+        f.extract_submatrix(top, range(half)),
+        f.extract_submatrix(top, range(half, n)),
+        f.extract_submatrix(bot, range(half)),
+        f.extract_submatrix(bot, range(half, n)),
+    )
+
+
+def time_kernel(fn, *args, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        fresh = [a.copy() if hasattr(a, "copy") else a for a in args[:-1]]
+        t0 = time.perf_counter()
+        fn(*fresh, args[-1])
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main() -> None:
+    ws = Workspace()
+    policy = SelectorPolicy.default()
+    densities = [0.02, 0.05, 0.12, 0.25]
+
+    for label, variants, which in (
+        ("GETRF", GETRF_VARIANTS, "diag"),
+        ("GESSM", GESSM_VARIANTS, "panel"),
+        ("TSTRF", TSTRF_VARIANTS, "panel"),
+        ("SSSSM", SSSSM_VARIANTS, "schur"),
+    ):
+        rows = []
+        for dens in densities:
+            d, b, r, c = blocks_at_density(dens)
+            dfac = d.copy()
+            GETRF_VARIANTS["C_V1"](dfac, ws)
+            row: list[object] = [f"{dens:.2f}"]
+            times = {}
+            for vname, fn in variants.items():
+                if label == "GETRF":
+                    t = time_kernel(lambda blk, w: fn(blk, w), d, ws)
+                    feats = TaskFeatures(nnz_a=d.nnz, n=d.ncols, density=d.density)
+                elif label == "GESSM":
+                    t = time_kernel(lambda blk, w: fn(dfac, blk, w), b, ws)
+                    feats = TaskFeatures(
+                        nnz_a=dfac.nnz, nnz_b=b.nnz, n=d.ncols, density=b.density
+                    )
+                elif label == "TSTRF":
+                    t = time_kernel(lambda blk, w: fn(dfac, blk, w), r, ws)
+                    feats = TaskFeatures(
+                        nnz_a=dfac.nnz, nnz_b=r.nnz, n=d.ncols, density=r.density
+                    )
+                else:
+                    t = time_kernel(lambda blk, w: fn(blk, r, b, w), c, ws)
+                    feats = TaskFeatures(
+                        nnz_a=r.nnz,
+                        nnz_b=b.nnz,
+                        flops=ssssm_flops_structural(r, b),
+                        density=c.density,
+                    )
+                times[vname] = t
+                row.append(t * 1e3)
+            chosen = policy.select(KernelType[label], feats)
+            fastest = min(times, key=times.get)
+            row += [chosen, fastest]
+            rows.append(row)
+        headers = ["density"] + [f"{v} (ms)" for v in variants] + ["tree picks", "fastest"]
+        print(f"\n=== {label} ===")
+        print(format_table(headers, rows, float_fmt="{:.3f}"))
+
+
+if __name__ == "__main__":
+    main()

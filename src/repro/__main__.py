@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the PanguLU artifact's workflow (feed a Matrix Market file to the
+solver binary) plus conveniences for this reproduction:
+
+``solve``     run the full pipeline on a ``.mtx`` file (or a named
+              synthetic analogue) and report residual + phase times;
+``info``      matrix statistics and symbolic-fill summary;
+``generate``  write a synthetic analogue of a paper matrix to ``.mtx``;
+``simulate``  simulated strong-scaling study on the modelled clusters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import PanguLU, SolverOptions
+from .analysis import format_table
+from .sparse import (
+    generate,
+    paper_matrix_names,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+def _load(spec: str, scale: float):
+    """A matrix from a file path or the name of a paper analogue."""
+    if spec in paper_matrix_names():
+        return generate(spec, scale=scale)
+    return read_matrix_market(spec)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    a = _load(args.matrix, args.scale)
+    if a.nrows != a.ncols:
+        print("error: need a square matrix", file=sys.stderr)
+        return 2
+    solver = PanguLU(
+        a, SolverOptions(ordering=args.ordering, n_workers=args.workers)
+    )
+    rng = np.random.default_rng(0)
+    b = np.ones(a.nrows) if args.rhs == "ones" else rng.standard_normal(a.nrows)
+    x = solver.solve(b)
+    print(f"n = {a.nrows}, nnz = {a.nnz}, "
+          f"nnz(L+U) = {solver.symbolic.nnz_lu}, "
+          f"blocks = {solver.blocks.nb}×{solver.blocks.nb} of {solver.blocks.bs}")
+    print(f"relative residual = {solver.residual_norm(x, b):.3e}")
+    for phase, seconds in solver.phase_seconds.items():
+        print(f"  {phase:<12s} {seconds:8.4f} s")
+    if args.output:
+        np.savetxt(args.output, x)
+        print(f"solution written to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    a = _load(args.matrix, args.scale)
+    from .sparse import bandwidth, is_structurally_symmetric
+
+    print(f"shape     : {a.nrows} × {a.ncols}")
+    print(f"nnz       : {a.nnz}  (density {a.density:.5f})")
+    print(f"symmetric : {is_structurally_symmetric(a)} (structurally)")
+    print(f"bandwidth : {bandwidth(a)}")
+    if args.symbolic and a.nrows == a.ncols:
+        solver = PanguLU(a)
+        sym = solver.symbolic_factorize()
+        print(f"nnz(L+U)  : {sym.nnz_lu}  (fill ratio {sym.fill_ratio:.2f}, "
+              f"after MC64 + {solver.options.ordering} ordering)")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    a = generate(args.name, scale=args.scale, seed=args.seed)
+    write_matrix_market(args.output, a,
+                        comment=f"analogue of {args.name}, scale={args.scale}")
+    print(f"wrote {args.name} analogue (n={a.nrows}, nnz={a.nnz}) to {args.output}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    a = _load(args.matrix, args.scale)
+    solver = PanguLU(a)
+    est = solver.estimate(proc_counts=tuple(args.procs))
+    print(f"n = {est['n']}, nnz = {est['nnz']}, nnz(L+U) = {est['nnz_lu']} "
+          f"(fill {est['fill_ratio']:.2f}x)")
+    print(f"flops = {est['flops']:,}, tasks = {est['tasks']}, "
+          f"blocks {est['block_grid']}×{est['block_grid']} of {est['block_size']}")
+    print(f"factor storage = {est['factor_bytes'] / 1024:.1f} KiB")
+    rows = [
+        [plat, p, v["seconds"] * 1e3, v["gflops"], 100 * v["sync_ratio"]]
+        for (plat, p), v in est["predicted"].items()
+    ]
+    print(format_table(
+        ["platform", "procs", "pred. time (ms)", "pred. GFLOP/s", "sync %"],
+        rows, float_fmt="{:.3f}",
+    ))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .runtime import A100_PLATFORM, MI50_PLATFORM, simulate_pangulu
+
+    a = _load(args.matrix, args.scale)
+    solver = PanguLU(a)
+    solver.preprocess()
+    platform = {"a100": A100_PLATFORM, "mi50": MI50_PLATFORM}[args.platform]
+    rows = []
+    last_sim = None
+    for p in (1, 2, 4, 8, 16, 32, 64, 128):
+        if p > args.max_procs:
+            break
+        sim = simulate_pangulu(solver.blocks, solver.dag, platform, p)
+        last_sim = sim
+        rows.append([p, sim.gflops, sim.result.makespan * 1e3,
+                     sim.result.mean_sync * 1e3])
+    print(format_table(
+        ["procs", "GFLOP/s", "makespan (ms)", "sync (ms)"], rows,
+        float_fmt="{:.3f}",
+    ))
+    if args.trace and last_sim is not None:
+        from .runtime import write_chrome_trace
+
+        names = [
+            f"{t.ttype.name}(k={t.k},{t.bi},{t.bj})" for t in solver.dag.tasks
+        ]
+        cats = [t.ttype.name for t in solver.dag.tasks]
+        write_chrome_trace(
+            args.trace, last_sim.result, last_sim.assignment,
+            names=names, categories=cats,
+        )
+        print(f"chrome trace of the largest run written to {args.trace}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PanguLU reproduction — sparse direct solver toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="solve A x = b for a .mtx file or analogue")
+    p.add_argument("matrix", help=".mtx path or a paper matrix name")
+    p.add_argument("--ordering", default="nd", choices=["nd", "amd", "rcm", "natural"])
+    p.add_argument("--rhs", default="ones", choices=["ones", "random"])
+    p.add_argument("--scale", type=float, default=0.3, help="analogue size knob")
+    p.add_argument("--output", help="write the solution vector to this file")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker threads for the numeric phase")
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("info", help="matrix statistics")
+    p.add_argument("matrix")
+    p.add_argument("--scale", type=float, default=0.3)
+    p.add_argument("--symbolic", action="store_true",
+                   help="also run reordering + symbolic factorisation")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("generate", help="write a synthetic analogue to .mtx")
+    p.add_argument("name", choices=paper_matrix_names())
+    p.add_argument("output")
+    p.add_argument("--scale", type=float, default=0.3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("estimate", help="plan a factorisation (no numeric work)")
+    p.add_argument("matrix")
+    p.add_argument("--scale", type=float, default=0.3)
+    p.add_argument("--procs", type=int, nargs="+", default=[1, 4, 16, 64])
+    p.set_defaults(func=_cmd_estimate)
+
+    p = sub.add_parser("simulate", help="simulated strong-scaling study")
+    p.add_argument("matrix")
+    p.add_argument("--platform", default="a100", choices=["a100", "mi50"])
+    p.add_argument("--scale", type=float, default=0.3)
+    p.add_argument("--max-procs", type=int, default=128)
+    p.add_argument("--trace", help="write a chrome://tracing JSON of the "
+                                   "largest simulated run")
+    p.set_defaults(func=_cmd_simulate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    sys.exit(main())

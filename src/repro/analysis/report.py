@@ -1,0 +1,64 @@
+"""Reporting helpers shared by the benchmark harness.
+
+Plain-text table rendering (the benches print the same rows the paper's
+tables/figures report) and the geometric-mean speedup aggregation the
+paper uses throughout its evaluation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["geometric_mean", "format_table", "speedup_summary"]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregate for speedups).
+
+    >>> geometric_mean([2.0, 8.0])
+    4.0
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric mean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned plain-text table."""
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def speedup_summary(speedups: dict[str, float]) -> str:
+    """One-line summary: geometric mean and range, paper style."""
+    vals = list(speedups.values())
+    gm = geometric_mean(vals)
+    return (
+        f"geomean {gm:.2f}x, range {min(vals):.2f}x – {max(vals):.2f}x "
+        f"over {len(vals)} matrices"
+    )

@@ -1,0 +1,229 @@
+"""Supernodal dense-panel LU — the SuperLU_DIST-role numeric baseline.
+
+The comparator the paper measures against aggregates columns into
+supernodes and computes with dense BLAS.  This module implements that
+honestly over the supernode partition of the exact fill:
+
+* the filled matrix is cut into an *uneven* 2D grid by the supernode
+  column boundaries (heights = widths, so diagonal blocks are square);
+* every structurally nonzero block is stored **dense** — including all
+  padding zeros (this is the storage Fig. 1d depicts);
+* numeric factorisation is the same right-looking block algorithm as
+  PanguLU's, but with dense kernels: LAPACK-style dense LU on diagonal
+  blocks, dense triangular solves on panels, and dense GEMM for Schur
+  updates (wasting multiply-adds on every padding zero);
+* per-GEMM statistics (operand densities, shapes, moved bytes) are
+  recorded — they feed the Fig. 4 density histograms and the baseline's
+  simulated task costs.
+
+Correctness is identical to PanguLU (padding cells provably stay zero:
+any position a kernel could make nonzero is fill, and fill is inside the
+pattern), which the tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kernels.base import SingularBlockError
+from ..sparse.csc import CSCMatrix
+from .supernodes import SupernodePartition
+
+__all__ = ["SupernodalMatrix", "GEMMRecord", "SupernodalStats", "sn_partition", "sn_factorize"]
+
+
+@dataclass(frozen=True)
+class GEMMRecord:
+    """Shape/density record of one dense Schur GEMM (``C −= A·B``)."""
+
+    m: int
+    n: int
+    k: int
+    density_a: float
+    density_b: float
+    density_c: float
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.n * self.k
+
+    @property
+    def moved_bytes(self) -> float:
+        """Gather + scatter traffic of the dense panels."""
+        return 8.0 * (self.m * self.k + self.k * self.n + 2 * self.m * self.n)
+
+
+@dataclass
+class SupernodalStats:
+    """Aggregated accounting of one supernodal factorisation.
+
+    ``seconds_panel`` / ``seconds_schur`` are real wall-clock splits of
+    the panel factorisation vs. Schur-complement work — the comparison of
+    Table 4.
+    """
+
+    gemms: list[GEMMRecord] = field(default_factory=list)
+    panel_flops: float = 0.0
+    schur_flops: float = 0.0
+    moved_bytes: float = 0.0
+    seconds_panel: float = 0.0
+    seconds_schur: float = 0.0
+
+
+@dataclass
+class SupernodalMatrix:
+    """Uneven dense-block matrix cut at supernode boundaries.
+
+    ``dense[(i, j)]`` holds the dense payload of block ``(i, j)``;
+    ``pattern_nnz[(i, j)]`` its structural (unpadded) nonzero count.
+    """
+
+    n: int
+    boundaries: np.ndarray
+    dense: dict[tuple[int, int], np.ndarray]
+    pattern_nnz: dict[tuple[int, int], int]
+
+    @property
+    def ns(self) -> int:
+        return len(self.boundaries) - 1
+
+    def width(self, s: int) -> int:
+        return int(self.boundaries[s + 1] - self.boundaries[s])
+
+    def block(self, i: int, j: int) -> np.ndarray | None:
+        return self.dense.get((i, j))
+
+    def block_density(self, i: int, j: int) -> float:
+        blk = self.dense.get((i, j))
+        if blk is None:
+            return 0.0
+        return self.pattern_nnz[(i, j)] / blk.size
+
+    def to_dense(self) -> np.ndarray:
+        """Reassemble the global dense matrix (verification only)."""
+        out = np.zeros((self.n, self.n))
+        b = self.boundaries
+        for (i, j), blk in self.dense.items():
+            out[b[i] : b[i + 1], b[j] : b[j + 1]] = blk
+        return out
+
+
+def sn_partition(filled: CSCMatrix, part: SupernodePartition) -> SupernodalMatrix:
+    """Cut the filled matrix into dense blocks at supernode boundaries."""
+    n = filled.ncols
+    b = part.boundaries
+    ns = part.n_supernodes
+    col_to_sn = part.supernode_of_column()
+    dense: dict[tuple[int, int], np.ndarray] = {}
+    nnz: dict[tuple[int, int], int] = {}
+    data = filled.data
+    for j in range(n):
+        sj = int(col_to_sn[j])
+        lc = j - int(b[sj])
+        sl = filled.col_slice(j)
+        rows = filled.indices[sl]
+        vals = data[sl]
+        if rows.size == 0:
+            continue
+        cut = np.searchsorted(rows, b[1:])
+        start = 0
+        for si in range(ns):
+            end = int(cut[si])
+            if end > start:
+                blk = dense.get((si, sj))
+                if blk is None:
+                    blk = np.zeros(
+                        (int(b[si + 1] - b[si]), int(b[sj + 1] - b[sj]))
+                    )
+                    dense[(si, sj)] = blk
+                    nnz[(si, sj)] = 0
+                blk[rows[start:end] - int(b[si]), lc] = vals[start:end]
+                nnz[(si, sj)] += end - start
+            start = end
+    return SupernodalMatrix(n=n, boundaries=b.copy(), dense=dense, pattern_nnz=nnz)
+
+
+def _dense_getrf(d: np.ndarray, pivot_floor: float) -> None:
+    """In-place dense LU without pivoting (static pivoting upstream)."""
+    n = d.shape[0]
+    scale = float(np.abs(d).max()) or 1.0
+    for k in range(n):
+        piv = d[k, k]
+        if piv == 0.0 or abs(piv) < pivot_floor * scale:
+            if pivot_floor <= 0.0:
+                raise SingularBlockError("zero pivot in supernodal GETRF")
+            piv = pivot_floor * scale if piv >= 0 else -pivot_floor * scale
+            d[k, k] = piv
+        if k + 1 < n:
+            d[k + 1 :, k] /= piv
+            d[k + 1 :, k + 1 :] -= np.outer(d[k + 1 :, k], d[k, k + 1 :])
+
+
+def _trsm_right_upper(u: np.ndarray, b: np.ndarray) -> None:
+    """``B ← B · U⁻¹`` in place (dense, column sweep)."""
+    n = u.shape[0]
+    for c in range(n):
+        if c:
+            b[:, c] -= b[:, :c] @ u[:c, c]
+        b[:, c] /= u[c, c]
+
+
+def _trsm_left_lower_unit(l: np.ndarray, b: np.ndarray) -> None:
+    """``B ← L⁻¹ · B`` in place with unit-lower ``L`` (dense, row sweep)."""
+    n = l.shape[0]
+    for r in range(n):
+        if r:
+            b[r, :] -= l[r, :r] @ b[:r, :]
+
+
+def sn_factorize(
+    m: SupernodalMatrix, *, pivot_floor: float = 1e-12
+) -> SupernodalStats:
+    """Right-looking supernodal factorisation in place, with accounting."""
+    import time
+
+    stats = SupernodalStats()
+    ns = m.ns
+    for k in range(ns):
+        diag = m.block(k, k)
+        if diag is None:
+            raise ValueError(f"empty diagonal supernode block ({k},{k})")
+        w = m.width(k)
+        t0 = time.perf_counter()
+        _dense_getrf(diag, pivot_floor)
+        stats.panel_flops += (2.0 / 3.0) * w**3
+        row_blocks = [i for i in range(k + 1, ns) if (i, k) in m.dense]
+        col_blocks = [j for j in range(k + 1, ns) if (k, j) in m.dense]
+        for i in row_blocks:
+            blk = m.dense[(i, k)]
+            _trsm_right_upper(diag, blk)
+            stats.panel_flops += float(blk.shape[0]) * w * w
+        for j in col_blocks:
+            blk = m.dense[(k, j)]
+            _trsm_left_lower_unit(diag, blk)
+            stats.panel_flops += float(blk.shape[1]) * w * w
+        stats.seconds_panel += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for i in row_blocks:
+            a = m.dense[(i, k)]
+            for j in col_blocks:
+                bb = m.dense[(k, j)]
+                c = m.dense.get((i, j))
+                if c is None:
+                    continue  # structurally empty target: product is zero
+                c -= a @ bb
+                rec = GEMMRecord(
+                    m=a.shape[0],
+                    n=bb.shape[1],
+                    k=w,
+                    density_a=m.block_density(i, k),
+                    density_b=m.block_density(k, j),
+                    density_c=m.block_density(i, j),
+                )
+                stats.gemms.append(rec)
+                stats.schur_flops += rec.flops
+                stats.moved_bytes += rec.moved_bytes
+        stats.seconds_schur += time.perf_counter() - t0
+    return stats

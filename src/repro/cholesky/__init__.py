@@ -1,0 +1,17 @@
+"""SPD extension: block Cholesky over the regular 2D layout (the
+factorisation PanguLU's own later releases added for symmetric positive
+definite systems)."""
+
+from .kernels import NotPositiveDefiniteError, potrf, potrf_flops, syrk, syrk_flops, trsm
+from .solver import CholeskyOptions, PanguLLt
+
+__all__ = [
+    "PanguLLt",
+    "CholeskyOptions",
+    "potrf",
+    "trsm",
+    "syrk",
+    "potrf_flops",
+    "syrk_flops",
+    "NotPositiveDefiniteError",
+]

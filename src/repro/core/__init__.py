@@ -1,0 +1,53 @@
+"""PanguLU core: regular 2D blocking, block-cyclic mapping with static
+load balancing, the task DAG, the numeric driver, block triangular solves
+and the five-phase solver facade."""
+
+from .blocking import BlockMatrix, block_partition, choose_block_size
+from .dag import Task, TaskDAG, TaskType, build_dag, sync_free_array
+from .mapping import ProcessGrid, assign_tasks, balance_loads, load_imbalance
+from .numeric import (
+    FactorizeStats,
+    NumericOptions,
+    factorize,
+    run_task,
+    task_features,
+)
+from .schur import extract_trailing, partial_factorize
+from .solver import PanguLU, SolverOptions
+from .memory import MemoryReport, memory_report, per_process_bytes
+from .tsolve import block_backward, block_forward, solve_lower_unit, solve_upper
+from .tsolve_dag import TSolveDAG, TSolveTaskType, build_tsolve_dag
+
+__all__ = [
+    "BlockMatrix",
+    "block_partition",
+    "choose_block_size",
+    "Task",
+    "TaskDAG",
+    "TaskType",
+    "build_dag",
+    "sync_free_array",
+    "ProcessGrid",
+    "assign_tasks",
+    "balance_loads",
+    "load_imbalance",
+    "NumericOptions",
+    "FactorizeStats",
+    "factorize",
+    "run_task",
+    "task_features",
+    "partial_factorize",
+    "extract_trailing",
+    "PanguLU",
+    "SolverOptions",
+    "MemoryReport",
+    "memory_report",
+    "per_process_bytes",
+    "TSolveDAG",
+    "TSolveTaskType",
+    "build_tsolve_dag",
+    "block_backward",
+    "block_forward",
+    "solve_lower_unit",
+    "solve_upper",
+]

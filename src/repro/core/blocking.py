@@ -1,0 +1,248 @@
+"""Regular 2D blocking — PanguLU's two-layer sparse structure (Fig. 6).
+
+The filled matrix (output of symbolic factorisation) is split into square
+blocks of one fixed size.  Layer 1 is a *block-level CSC*: the arrays
+``blk_colptr`` / ``blk_rowidx`` compress the nonzero blocks of each block
+column, and ``blk_values`` holds the per-block payloads.  Layer 2 is the
+CSC pattern *inside* each block.  Empty blocks are not stored.
+
+Because every block keeps its exact sparse pattern (no supernode padding),
+the numeric kernels never compute with structural zeros — the central
+storage claim of the paper (Fig. 1e vs 1d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sparse.csc import CSCMatrix
+
+__all__ = ["BlockMatrix", "choose_block_size", "block_partition"]
+
+
+def choose_block_size(
+    n: int, nnz_filled: int, *, min_bs: int = 8, max_bs: int = 512
+) -> int:
+    """Pick the regular block size from the matrix order and post-symbolic
+    density (Section 4.1: "calculated from the matrix order and the density
+    of the matrix after symbolic factorisation").
+
+    The heuristic balances two pressures the paper names — computation
+    (large blocks amortise per-kernel overheads) and communication /
+    parallelism (many blocks expose concurrency to the process grid):
+
+    * start from a grid of ``nb ≈ sqrt(n)`` block columns, which keeps the
+      task count roughly linear in ``n``;
+    * coarsen while the *average dense block payload*
+      ``nnz(L+U) / nb²`` falls below a floor, so very sparse matrices get
+      bigger blocks (more nonzeros per kernel call);
+    * clamp the resulting block size to ``[min_bs, max_bs]``.
+    """
+    if n <= 0:
+        raise ValueError("matrix order must be positive")
+    nb = int(np.clip(round(np.sqrt(n)), 4, 128))
+    while nb > 4 and nnz_filled / (nb * nb) < 12.0:
+        nb = max(4, nb // 2)
+    bs = -(-n // nb)
+    return int(np.clip(bs, min_bs, max(max_bs, min_bs)))
+
+
+@dataclass
+class BlockMatrix:
+    """Two-layer block-sparse matrix.
+
+    Attributes
+    ----------
+    n:
+        Matrix order.
+    bs:
+        Regular block size (last block row/column may be smaller).
+    nb:
+        Number of block rows/columns: ``ceil(n / bs)``.
+    blk_colptr, blk_rowidx:
+        Layer-1 CSC arrays over blocks: block column ``bj`` owns the block
+        rows ``blk_rowidx[blk_colptr[bj]:blk_colptr[bj+1]]`` (sorted).
+    blk_values:
+        Per-block payloads aligned with ``blk_rowidx``; each is a
+        :class:`CSCMatrix` with *local* indices.
+    col_support, row_support:
+        Per-block boolean arrays over local columns/rows marking which are
+        structurally nonzero — used to decide whether a Schur product
+        between two blocks is structurally empty.
+    """
+
+    n: int
+    bs: int
+    nb: int
+    blk_colptr: np.ndarray
+    blk_rowidx: np.ndarray
+    blk_values: list[CSCMatrix]
+    col_support: list[np.ndarray] = field(default_factory=list)
+    row_support: list[np.ndarray] = field(default_factory=list)
+    _index: dict | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    def block_order(self, b: int) -> int:
+        """Row/column count of block index ``b`` (the last may be short)."""
+        return min(self.bs, self.n - b * self.bs)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of stored (structurally nonzero) blocks."""
+        return int(self.blk_colptr[-1])
+
+    def block_slot(self, bi: int, bj: int) -> int:
+        """Storage slot of block ``(bi, bj)`` or −1 if absent (O(1) via a
+        lazily-built dictionary index)."""
+        if self._index is None:
+            index: dict[tuple[int, int], int] = {}
+            for col in range(self.nb):
+                lo, hi = int(self.blk_colptr[col]), int(self.blk_colptr[col + 1])
+                for slot in range(lo, hi):
+                    index[(int(self.blk_rowidx[slot]), col)] = slot
+            self._index = index
+        return self._index.get((bi, bj), -1)
+
+    def block(self, bi: int, bj: int) -> CSCMatrix | None:
+        """The block at block coordinates ``(bi, bj)``, or None if empty."""
+        slot = self.block_slot(bi, bj)
+        return None if slot < 0 else self.blk_values[slot]
+
+    def blocks_in_column(self, bj: int) -> tuple[np.ndarray, list[CSCMatrix]]:
+        """(block-row indices, payloads) of block column ``bj``."""
+        lo, hi = int(self.blk_colptr[bj]), int(self.blk_colptr[bj + 1])
+        return self.blk_rowidx[lo:hi], self.blk_values[lo:hi]
+
+    def blocks_in_row(self, bi: int) -> list[tuple[int, CSCMatrix]]:
+        """List of ``(bj, payload)`` for stored blocks in block row ``bi``."""
+        out = []
+        for bj in range(self.nb):
+            blk = self.block(bi, bj)
+            if blk is not None:
+                out.append((bj, blk))
+        return out
+
+    # ------------------------------------------------------------------
+    def to_csc(self) -> CSCMatrix:
+        """Reassemble the global matrix (for verification)."""
+        rows_parts: list[np.ndarray] = []
+        cols_parts: list[np.ndarray] = []
+        vals_parts: list[np.ndarray] = []
+        for bj in range(self.nb):
+            lo, hi = int(self.blk_colptr[bj]), int(self.blk_colptr[bj + 1])
+            for slot in range(lo, hi):
+                bi = int(self.blk_rowidx[slot])
+                blk = self.blk_values[slot]
+                r, c = blk.rows_cols()
+                rows_parts.append(r + bi * self.bs)
+                cols_parts.append(c + bj * self.bs)
+                vals_parts.append(blk.data)
+        from ..sparse.csc import coo_to_csc
+
+        if not rows_parts:
+            return CSCMatrix.empty((self.n, self.n))
+        return coo_to_csc(
+            (self.n, self.n),
+            np.concatenate(rows_parts),
+            np.concatenate(cols_parts),
+            np.concatenate(vals_parts),
+        )
+
+    def nnz_stats(self) -> dict[str, float]:
+        """Summary statistics used by reports and the block-size bench."""
+        nnzs = np.asarray([b.nnz for b in self.blk_values], dtype=np.int64)
+        dens = np.asarray([b.density for b in self.blk_values])
+        return {
+            "num_blocks": int(nnzs.size),
+            "nnz_total": int(nnzs.sum()) if nnzs.size else 0,
+            "nnz_mean": float(nnzs.mean()) if nnzs.size else 0.0,
+            "density_mean": float(dens.mean()) if dens.size else 0.0,
+            "grid": self.nb,
+        }
+
+
+def block_partition(filled: CSCMatrix, bs: int) -> BlockMatrix:
+    """Split a filled matrix into the two-layer block structure.
+
+    Every stored entry of ``filled`` lands in exactly one block; blocks
+    keep local CSC patterns with sorted-unique columns (inherited from the
+    parent).  O(nnz + nb²) time.
+    """
+    n = filled.ncols
+    if filled.nrows != n:
+        raise ValueError("block partition requires a square matrix")
+    if bs <= 0:
+        raise ValueError("block size must be positive")
+    nb = -(-n // bs)
+
+    # per (bi, bj): lists of (local col, local rows, vals) gathered per column
+    col_chunks: dict[tuple[int, int], list[tuple[int, np.ndarray, np.ndarray]]] = {}
+    data = filled.data
+    boundaries = np.arange(1, nb + 1) * bs
+    for j in range(n):
+        bj, lc = divmod(j, bs)
+        sl = filled.col_slice(j)
+        rows = filled.indices[sl]
+        if rows.size == 0:
+            continue
+        vals = data[sl]
+        # split the sorted rows at block boundaries
+        cut = np.searchsorted(rows, boundaries)
+        start = 0
+        for bi in range(nb):
+            end = int(cut[bi])
+            if end > start:
+                col_chunks.setdefault((bi, bj), []).append(
+                    (lc, rows[start:end] - bi * bs, vals[start:end])
+                )
+            start = end
+
+    # assemble each block as CSC
+    blocks_per_col: list[list[tuple[int, CSCMatrix]]] = [[] for _ in range(nb)]
+    for (bi, bj), chunks in col_chunks.items():
+        bo_r = min(bs, n - bi * bs)
+        bo_c = min(bs, n - bj * bs)
+        indptr = np.zeros(bo_c + 1, dtype=np.int64)
+        for lc, r, _ in chunks:
+            indptr[lc + 1] = r.size
+        np.cumsum(indptr, out=indptr)
+        nnz = int(indptr[-1])
+        indices = np.empty(nnz, dtype=np.int64)
+        vals_arr = np.empty(nnz, dtype=np.float64)
+        for lc, r, v in chunks:
+            dst = slice(int(indptr[lc]), int(indptr[lc + 1]))
+            indices[dst] = r
+            vals_arr[dst] = v
+        blk = CSCMatrix((bo_r, bo_c), indptr, indices, vals_arr, check=False)
+        blocks_per_col[bj].append((bi, blk))
+
+    blk_colptr = np.zeros(nb + 1, dtype=np.int64)
+    blk_rowidx_parts: list[int] = []
+    blk_values: list[CSCMatrix] = []
+    for bj in range(nb):
+        entries = sorted(blocks_per_col[bj], key=lambda t: t[0])
+        blk_colptr[bj + 1] = blk_colptr[bj] + len(entries)
+        for bi, blk in entries:
+            blk_rowidx_parts.append(bi)
+            blk_values.append(blk)
+
+    col_support = []
+    row_support = []
+    for blk in blk_values:
+        col_support.append(np.diff(blk.indptr) > 0)
+        rs = np.zeros(blk.nrows, dtype=bool)
+        rs[blk.indices] = True
+        row_support.append(rs)
+
+    return BlockMatrix(
+        n=n,
+        bs=bs,
+        nb=nb,
+        blk_colptr=blk_colptr,
+        blk_rowidx=np.asarray(blk_rowidx_parts, dtype=np.int64),
+        blk_values=blk_values,
+        col_support=col_support,
+        row_support=row_support,
+    )

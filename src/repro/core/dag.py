@@ -1,0 +1,241 @@
+"""Task DAG of the right-looking block LU factorisation.
+
+Every node is one kernel invocation on one block — the paper's minimum
+scheduling unit ("uses sparse kernels as the smallest scheduling unit",
+Section 4.4).  For elimination step ``k``:
+
+* ``GETRF(k)``      factors diagonal block ``(k, k)``;
+* ``TSTRF(i, k)``   turns block ``(i, k)``, ``i > k``, into ``L``;
+* ``GESSM(k, j)``   turns block ``(k, j)``, ``j > k``, into ``U``;
+* ``SSSSM(k, i, j)`` applies ``C(i,j) −= L(i,k) · U(k,j)``.
+
+An SSSSM node exists only when the structural product is nonempty (the
+column support of ``L(i,k)`` intersects the row support of ``U(k,j)``);
+fill closure then guarantees the target block exists.
+
+Dependencies:
+
+* ``GETRF(k)``      ← every ``SSSSM(·, k, k)``;
+* ``GESSM(k, j)``   ← ``GETRF(k)`` + every ``SSSSM(·, k, j)``;
+* ``TSTRF(i, k)``   ← ``GETRF(k)`` + every ``SSSSM(·, i, k)``;
+* ``SSSSM(k, i, j)``← ``TSTRF(i, k)`` + ``GESSM(k, j)``.
+
+The per-block *synchronisation-free array* of Section 4.4 is exactly the
+count of unfinished SSSSM predecessors of each block's panel task; it is
+exposed by :func:`sync_free_array` for tests and illustration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kernels.flops import (
+    diag_counts,
+    gessm_flops_from_counts,
+    tstrf_flops_from_counts,
+)
+from .blocking import BlockMatrix
+
+__all__ = ["TaskType", "Task", "TaskDAG", "build_dag", "sync_free_array"]
+
+
+class TaskType(enum.IntEnum):
+    """Kernel role of a DAG node (ordering = scheduling priority class)."""
+
+    GETRF = 0
+    GESSM = 1
+    TSTRF = 2
+    SSSSM = 3
+
+
+@dataclass
+class Task:
+    """One kernel invocation.
+
+    ``(bi, bj)`` is the *target* block; ``k`` the elimination step.  For
+    SSSSM the operands are ``L(bi, k)`` and ``U(k, bj)``.
+    """
+
+    tid: int
+    ttype: TaskType
+    k: int
+    bi: int
+    bj: int
+    flops: int
+    n_deps: int = 0
+    successors: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Task({self.tid}: {self.ttype.name} k={self.k} "
+            f"target=({self.bi},{self.bj}) flops={self.flops})"
+        )
+
+
+@dataclass
+class TaskDAG:
+    """The full task graph plus lookup indices.
+
+    Attributes
+    ----------
+    tasks:
+        All tasks, indexed by ``tid``.
+    panel_of_block:
+        Maps ``(bi, bj)`` to the tid of the block's panel task (GETRF /
+        GESSM / TSTRF).
+    total_flops:
+        Sum of all task FLOP counts — the paper's Table 3 "PanguLU FLOPs".
+    """
+
+    tasks: list[Task]
+    panel_of_block: dict[tuple[int, int], int]
+    total_flops: int
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def roots(self) -> list[int]:
+        """Tasks with no dependencies (initially runnable)."""
+        return [t.tid for t in self.tasks if t.n_deps == 0]
+
+    def dep_counts(self) -> np.ndarray:
+        """Fresh copy of the per-task dependency counters."""
+        return np.asarray([t.n_deps for t in self.tasks], dtype=np.int64)
+
+    def critical_path_flops(self) -> int:
+        """FLOP weight of the longest dependency chain — a lower bound on
+        any schedule's makespan in flop units."""
+        n = len(self.tasks)
+        depth = np.zeros(n, dtype=np.int64)
+        indeg = self.dep_counts()
+        stack = [t for t in range(n) if indeg[t] == 0]
+        for t in stack:
+            depth[t] = self.tasks[t].flops
+        out = 0
+        while stack:
+            t = stack.pop()
+            out = max(out, int(depth[t]))
+            for s in self.tasks[t].successors:
+                depth[s] = max(depth[s], depth[t] + self.tasks[s].flops)
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    stack.append(s)
+        return out
+
+
+def build_dag(f: BlockMatrix) -> TaskDAG:
+    """Construct the task DAG from the blocked filled pattern."""
+    nb = f.nb
+    tasks: list[Task] = []
+    panel_of_block: dict[tuple[int, int], int] = {}
+    ssssm_into: dict[tuple[int, int], list[int]] = {}
+
+    # Precompute per-step L-column and U-row block lists
+    lcol: list[list[int]] = [[] for _ in range(nb)]  # block rows i > k with (i,k)
+    urow: list[list[int]] = [[] for _ in range(nb)]  # block cols j > k with (k,j)
+    for bj in range(nb):
+        rows, _ = f.blocks_in_column(bj)
+        for bi in rows:
+            bi = int(bi)
+            if bi > bj:
+                lcol[bj].append(bi)
+            elif bi < bj:
+                urow[bi].append(bj)
+
+    def add(ttype: TaskType, k: int, bi: int, bj: int, flops: int) -> int:
+        tid = len(tasks)
+        tasks.append(Task(tid, ttype, k, bi, bj, flops))
+        return tid
+
+    # ---- create all tasks ------------------------------------------------
+    for k in range(nb):
+        diag = f.block(k, k)
+        if diag is None:
+            raise ValueError(
+                f"diagonal block ({k},{k}) is structurally empty — "
+                "the input needs a zero-free diagonal (run MC64 first)"
+            )
+        counts = diag_counts(diag)
+        getrf_fl = int(
+            np.sum(counts.lower_col)
+            + 2 * np.dot(counts.lower_col, counts.upper_row)
+        )
+        panel_of_block[(k, k)] = add(TaskType.GETRF, k, k, k, getrf_fl)
+        # per-U-block row-nnz vectors, reused by every SSSSM of this step
+        u_rownnz: dict[int, np.ndarray] = {}
+        for j in urow[k]:
+            b = f.block(k, j)
+            assert b is not None
+            panel_of_block[(k, j)] = add(
+                TaskType.GESSM, k, k, j, gessm_flops_from_counts(counts, b)
+            )
+            rn = np.zeros(b.nrows, dtype=np.int64)
+            np.add.at(rn, b.indices, 1)
+            u_rownnz[j] = rn
+        l_colnnz: dict[int, np.ndarray] = {}
+        for i in lcol[k]:
+            b = f.block(i, k)
+            assert b is not None
+            panel_of_block[(i, k)] = add(
+                TaskType.TSTRF, k, i, k, tstrf_flops_from_counts(counts, b)
+            )
+            l_colnnz[i] = np.diff(b.indptr)
+        # Schur updates from step k
+        for i in lcol[k]:
+            slot_l = f.block_slot(i, k)
+            csup = f.col_support[slot_l]
+            cn = l_colnnz[i]
+            for j in urow[k]:
+                slot_u = f.block_slot(k, j)
+                rsup = f.row_support[slot_u]
+                if not bool(np.any(csup & rsup)):
+                    continue  # structurally empty product
+                tid = add(
+                    TaskType.SSSSM,
+                    k,
+                    i,
+                    j,
+                    int(2 * np.dot(cn, u_rownnz[j])),
+                )
+                ssssm_into.setdefault((i, j), []).append(tid)
+
+    # ---- wire dependencies ------------------------------------------------
+    for t in tasks:
+        if t.ttype == TaskType.GETRF:
+            preds = ssssm_into.get((t.k, t.k), [])
+            t.n_deps = len(preds)
+            for p in preds:
+                tasks[p].successors.append(t.tid)
+        elif t.ttype in (TaskType.GESSM, TaskType.TSTRF):
+            preds = ssssm_into.get((t.bi, t.bj), [])
+            t.n_deps = 1 + len(preds)
+            tasks[panel_of_block[(t.k, t.k)]].successors.append(t.tid)
+            for p in preds:
+                tasks[p].successors.append(t.tid)
+        else:  # SSSSM
+            t.n_deps = 2
+            tasks[panel_of_block[(t.bi, t.k)]].successors.append(t.tid)
+            tasks[panel_of_block[(t.k, t.bj)]].successors.append(t.tid)
+
+    total = int(sum(t.flops for t in tasks))
+    return TaskDAG(tasks=tasks, panel_of_block=panel_of_block, total_flops=total)
+
+
+def sync_free_array(dag: TaskDAG, nb: int) -> dict[tuple[int, int], int]:
+    """The paper's per-block synchronisation-free array (Fig. 9).
+
+    Value = number of GESSM/TSTRF/SSSSM operations the block still has to
+    receive before its next phase can fire: for a diagonal block, 0 means
+    GETRF may run (−1 after it completes, releasing its row and column);
+    for an off-diagonal block, 0 means its panel solve may run once the
+    diagonal is done.
+    """
+    counts: dict[tuple[int, int], int] = {}
+    for (bi, bj), tid in dag.panel_of_block.items():
+        t = dag.tasks[tid]
+        ssssm_preds = t.n_deps if t.ttype == TaskType.GETRF else t.n_deps - 1
+        counts[(bi, bj)] = ssssm_preds
+    return counts

@@ -1,0 +1,488 @@
+"""PanguLU solver facade — the five phases glued together.
+
+``PanguLU(a).solve(b)`` runs:
+
+1. **Reordering** — MC64 row permutation + scaling for a large diagonal
+   (numerical stability under static pivoting), then a fill-reducing
+   symmetric permutation (nested dissection by default, AMD/RCM/natural
+   selectable).
+2. **Symbolic factorisation** — symmetric-pruned fill of the reordered
+   matrix (:func:`repro.symbolic.symbolic_symmetric`).
+3. **Preprocessing** — block-size selection, regular 2D blocking into the
+   two-layer sparse structure, task-DAG construction, block-cyclic
+   mapping with static load balancing.
+4. **Numeric factorisation** — DAG replay with adaptive sparse kernels.
+5. **Triangular solve** — block forward/backward substitution, then
+   un-permutation and un-scaling of the solution.
+
+Every phase's wall-clock time is recorded in :attr:`PanguLU.phase_seconds`
+(the quantity compared in the paper's Figs. 11 and 15).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ordering import amd, colamd, mc64, nested_dissection, rcm
+from ..sparse.csc import CSCMatrix
+from ..sparse.patterns import ensure_diagonal
+from ..symbolic import SymbolicResult, symbolic_symmetric
+from .blocking import BlockMatrix, block_partition, choose_block_size
+from .dag import TaskDAG, build_dag
+from .mapping import ProcessGrid, assign_tasks, balance_loads
+from .numeric import FactorizeStats, NumericOptions, factorize
+from .tsolve import (
+    block_backward,
+    block_backward_trans,
+    block_forward,
+    block_forward_trans,
+)
+
+__all__ = ["SolverOptions", "PanguLU"]
+
+
+def _perm_sign(perm: np.ndarray) -> float:
+    """Sign (±1) of a permutation via cycle counting."""
+    n = perm.size
+    seen = np.zeros(n, dtype=bool)
+    sign = 1.0
+    for start in range(n):
+        if seen[start]:
+            continue
+        length = 0
+        j = start
+        while not seen[j]:
+            seen[j] = True
+            j = int(perm[j])
+            length += 1
+        if length % 2 == 0:
+            sign = -sign
+    return sign
+
+
+@dataclass
+class SolverOptions:
+    """Configuration of the full pipeline.
+
+    Attributes
+    ----------
+    ordering:
+        Fill-reducing ordering: ``"nd"`` (METIS-role nested dissection,
+        the paper's choice), ``"amd"``, ``"colamd"``, ``"rcm"``,
+        ``"natural"``, or ``"best"`` (evaluate ND and AMD, keep the one
+        with least fill).
+    use_mc64:
+        Run the MC64 permutation/scaling (paper default).  Disable only
+        for matrices already diagonally dominant.
+    block_size:
+        Regular block size; ``None`` applies the order/density heuristic
+        of :func:`repro.core.blocking.choose_block_size`.
+    numeric:
+        Kernel selection and pivoting options for the numeric phase.
+    nprocs:
+        Logical process count for the mapping (affects the distributed
+        simulation, not local numeric correctness).
+    load_balance:
+        Apply the static time-slice balancing to the task assignment.
+    n_workers:
+        Worker threads for the numeric phase; > 1 switches to the real
+        threaded synchronisation-free executor
+        (:func:`repro.runtime.factorize_threaded`).
+    refine_steps:
+        Iterative-refinement sweeps after the triangular solves.  Static
+        pivoting (MC64 + GESP pivot replacement) trades factorisation-time
+        stability for a possibly larger residual; a few cheap refinement
+        steps recover it — the same recipe SuperLU_DIST applies.
+    """
+
+    ordering: str = "nd"
+    use_mc64: bool = True
+    block_size: int | None = None
+    numeric: NumericOptions = field(default_factory=NumericOptions)
+    nprocs: int = 1
+    load_balance: bool = True
+    refine_steps: int = 2
+    n_workers: int = 1
+
+
+class PanguLU:
+    """Sparse direct solver for ``A x = b`` (square, structurally
+    nonsingular ``A``).
+
+    Parameters
+    ----------
+    a:
+        The system matrix.
+    options:
+        Pipeline configuration; defaults reproduce the paper's setup.
+
+    Examples
+    --------
+    >>> from repro.sparse import grid_laplacian_2d
+    >>> import numpy as np
+    >>> a = grid_laplacian_2d(16, 16)
+    >>> solver = PanguLU(a)
+    >>> x = solver.solve(np.ones(a.nrows))
+    >>> float(np.linalg.norm(a.matvec(x) - 1.0)) < 1e-8
+    True
+    """
+
+    def __init__(self, a: CSCMatrix, options: SolverOptions | None = None) -> None:
+        if a.nrows != a.ncols:
+            raise ValueError("PanguLU requires a square matrix")
+        if a.nnz and not np.all(np.isfinite(a.data)):
+            raise ValueError("matrix contains non-finite values (NaN/Inf)")
+        self.a = a
+        self.options = options or SolverOptions()
+        self.phase_seconds: dict[str, float] = {}
+        # phase products
+        self.row_scale: np.ndarray | None = None
+        self.col_scale: np.ndarray | None = None
+        self.row_perm: np.ndarray | None = None   # combined row permutation
+        self.col_perm: np.ndarray | None = None   # fill-reducing permutation
+        self.symbolic: SymbolicResult | None = None
+        self.blocks: BlockMatrix | None = None
+        self.dag: TaskDAG | None = None
+        self.grid: ProcessGrid | None = None
+        self.assignment: np.ndarray | None = None
+        self.numeric_stats: FactorizeStats | None = None
+        self._factorized = False
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    def reorder(self) -> CSCMatrix:
+        """Phase 1: MC64 + fill-reducing ordering; returns the reordered,
+        scaled matrix the later phases factorise."""
+        t0 = time.perf_counter()
+        a = self.a
+        n = a.ncols
+        if self.options.use_mc64:
+            res = mc64(a)
+            self.row_scale = res.row_scale
+            self.col_scale = res.col_scale
+            work = a.scale(res.row_scale, res.col_scale).permute(res.row_perm, None)
+            mc64_perm = res.row_perm
+        else:
+            self.row_scale = np.ones(n)
+            self.col_scale = np.ones(n)
+            work = a.copy()
+            mc64_perm = np.arange(n, dtype=np.int64)
+
+        ordering = self.options.ordering
+        if ordering == "nd":
+            p = nested_dissection(work)
+        elif ordering == "amd":
+            p = amd(work)
+        elif ordering == "colamd":
+            p = colamd(work)
+        elif ordering == "rcm":
+            p = rcm(work)
+        elif ordering == "natural":
+            p = np.arange(n, dtype=np.int64)
+        elif ordering == "best":
+            # try the serious candidates and keep the one with least fill —
+            # ordering cost is small next to numeric factorisation
+            from ..symbolic import symbolic_symmetric as _sym
+
+            candidates = {"nd": nested_dissection(work), "amd": amd(work)}
+            fills = {
+                name: _sym(work.permute(q, q)).nnz_lu
+                for name, q in candidates.items()
+            }
+            p = candidates[min(fills, key=fills.get)]
+        else:
+            raise ValueError(f"unknown ordering {ordering!r}")
+        self.col_perm = p
+        self.row_perm = mc64_perm[p]
+        work = work.permute(p, p)
+        work = ensure_diagonal(work)
+        self.phase_seconds["reorder"] = time.perf_counter() - t0
+        self._reordered = work
+        return work
+
+    def symbolic_factorize(self) -> SymbolicResult:
+        """Phase 2: symmetric-pruned fill pattern of the reordered matrix."""
+        if self.col_perm is None:
+            self.reorder()
+        t0 = time.perf_counter()
+        self.symbolic = symbolic_symmetric(self._reordered)
+        self.phase_seconds["symbolic"] = time.perf_counter() - t0
+        return self.symbolic
+
+    def preprocess(self) -> BlockMatrix:
+        """Phase 3: blocking, DAG construction, mapping + load balance."""
+        if self.symbolic is None:
+            self.symbolic_factorize()
+        t0 = time.perf_counter()
+        filled = self.symbolic.filled
+        bs = self.options.block_size or choose_block_size(filled.ncols, filled.nnz)
+        self.blocks = block_partition(filled, bs)
+        self.dag = build_dag(self.blocks)
+        self.grid = ProcessGrid.square(self.options.nprocs)
+        assignment = assign_tasks(self.dag, self.grid)
+        if self.options.load_balance and self.grid.nprocs > 1:
+            assignment = balance_loads(self.dag, self.grid, assignment)
+        self.assignment = assignment
+        self.phase_seconds["preprocess"] = time.perf_counter() - t0
+        return self.blocks
+
+    def factorize(self) -> FactorizeStats:
+        """Phase 4: numeric factorisation (idempotent)."""
+        if self._factorized:
+            return self.numeric_stats
+        if self.blocks is None:
+            self.preprocess()
+        t0 = time.perf_counter()
+        if self.options.n_workers > 1:
+            from ..runtime.threaded import factorize_threaded
+
+            tstats = factorize_threaded(
+                self.blocks, self.dag, self.options.numeric,
+                n_workers=self.options.n_workers,
+            )
+            self.numeric_stats = FactorizeStats(
+                kernel_choices=tstats.kernel_choices,
+                tasks_executed=tstats.tasks_executed,
+                flops_total=self.dag.total_flops,
+            )
+        else:
+            self.numeric_stats = factorize(
+                self.blocks, self.dag, self.options.numeric
+            )
+        self.phase_seconds["numeric"] = time.perf_counter() - t0
+        self._factorized = True
+        return self.numeric_stats
+
+    def _apply_factors(self, b: np.ndarray) -> np.ndarray:
+        """One pass of the permuted/scaled triangular solves: ``x`` with
+        ``A x ≈ b`` up to static-pivoting error (vector or multi-RHS)."""
+        rs = self.row_scale if b.ndim == 1 else self.row_scale[:, None]
+        cs = self.col_scale if b.ndim == 1 else self.col_scale[:, None]
+        # Dr A Dc z = Dr b with x = Dc z; rows/cols permuted into block space
+        c_hat = (rs * b)[self.row_perm]
+        y = block_forward(self.blocks, c_hat)
+        z_hat = block_backward(self.blocks, y)
+        z = np.empty_like(z_hat)
+        z[self.col_perm] = z_hat
+        return cs * z
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Phase 5: solve ``A x = b``, with ``refine_steps`` rounds of
+        iterative refinement.
+
+        ``b`` may be a vector of length ``n`` or an ``(n, k)`` array of
+        ``k`` simultaneous right-hand sides.
+        """
+        self.factorize()
+        t0 = time.perf_counter()
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape[0] != self.a.nrows or b.ndim > 2:
+            raise ValueError(
+                f"b has shape {b.shape}, expected ({self.a.nrows},) or "
+                f"({self.a.nrows}, k)"
+            )
+        mv = self.a.matmat if b.ndim == 2 else self.a.matvec
+        x = self._apply_factors(b)
+        for _ in range(max(0, self.options.refine_steps)):
+            r = b - mv(x)
+            if not np.all(np.isfinite(r)):
+                break
+            x = x + self._apply_factors(r)
+        self.phase_seconds["solve"] = time.perf_counter() - t0
+        return x
+
+    def solve_transposed(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``Aᵀ x = b`` using the same factorisation.
+
+        Uses ``(LU)ᵀ = Uᵀ Lᵀ`` over the block layout — no second
+        factorisation.  Needed by the 1-norm condition estimator and by
+        adjoint/sensitivity computations in circuit and PDE workloads.
+        """
+        self.factorize()
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (self.a.nrows,):
+            raise ValueError(f"b has shape {b.shape}, expected ({self.a.nrows},)")
+        # Aᵀ x = b  ⇔  Sᵀ w = Dc b with S = Dr A Dc, x = Dr w, and
+        # m2ᵀ v = (Dc b)[col_perm], w[row_perm] = v
+        c_hat = (self.col_scale * b)[self.col_perm]
+        y = block_forward_trans(self.blocks, c_hat)
+        v = block_backward_trans(self.blocks, y)
+        w = np.empty_like(v)
+        w[self.row_perm] = v
+        x = self.row_scale * w
+        for _ in range(max(0, self.options.refine_steps)):
+            r = b - self._matvec_t(x)
+            if not np.all(np.isfinite(r)):
+                break
+            c_hat = (self.col_scale * r)[self.col_perm]
+            y = block_forward_trans(self.blocks, c_hat)
+            v = block_backward_trans(self.blocks, y)
+            w = np.empty_like(v)
+            w[self.row_perm] = v
+            x = x + self.row_scale * w
+        return x
+
+    def _matvec_t(self, x: np.ndarray) -> np.ndarray:
+        """``Aᵀ @ x`` for a dense vector."""
+        a = self.a
+        y = np.zeros(a.ncols, dtype=np.float64)
+        cols = np.repeat(np.arange(a.ncols), np.diff(a.indptr))
+        np.add.at(y, cols, a.data * x[a.indices])
+        return y
+
+    def slogdet(self) -> tuple[float, float]:
+        """``(sign, log|det A|)`` from the factorisation (numpy.slogdet
+        convention).
+
+        Uses ``det(P₁ · Dr A Dc · P₂ᵀ) = Π diag(U)`` and corrects for the
+        permutation signs and the MC64 scalings.
+        """
+        self.factorize()
+        sign = 1.0
+        logdet = 0.0
+        bs = self.blocks.bs
+        for k in range(self.blocks.nb):
+            diag = self.blocks.block(k, k)
+            d = diag.diagonal()
+            if np.any(d == 0.0):
+                return 0.0, -np.inf
+            sign *= float(np.prod(np.sign(d)))
+            logdet += float(np.sum(np.log(np.abs(d))))
+        del bs
+        sign *= _perm_sign(self.row_perm) * _perm_sign(self.col_perm)
+        logdet -= float(np.sum(np.log(self.row_scale)))
+        logdet -= float(np.sum(np.log(self.col_scale)))
+        return sign, logdet
+
+    def condest_1norm(self, *, max_iter: int = 8) -> float:
+        """Estimate ``κ₁(A) = ‖A‖₁ · ‖A⁻¹‖₁`` (Hager's method).
+
+        ``‖A⁻¹‖₁`` is estimated by power iteration on the signs of
+        ``A⁻¹``/``A⁻ᵀ`` applications — a lower bound that is typically
+        within a small factor of the truth, at the cost of a handful of
+        triangular solves.
+        """
+        self.factorize()
+        n = self.a.ncols
+        norm_a = self.a.norm_1()
+        x = np.full(n, 1.0 / n)
+        est = 0.0
+        for _ in range(max_iter):
+            y = self.solve(x)
+            new_est = float(np.abs(y).sum())
+            xi = np.sign(y)
+            xi[xi == 0] = 1.0
+            z = self.solve_transposed(xi)
+            j = int(np.argmax(np.abs(z)))
+            if new_est <= est or float(np.abs(z[j])) <= float(z @ x):
+                est = max(est, new_est)
+                break
+            est = new_est
+            x = np.zeros(n)
+            x[j] = 1.0
+        return norm_a * est
+
+    def refactorize(self, a_new: CSCMatrix) -> FactorizeStats:
+        """Re-run only the numeric phase for a matrix with the *same
+        pattern* but new values (Newton steps in circuit/device
+        simulation — the workload PanguLU's introduction motivates).
+
+        Reuses the reordering, symbolic pattern, blocking, DAG and mapping
+        computed for the original matrix; only value injection and the
+        numeric factorisation are repeated.
+        """
+        if a_new.shape != self.a.shape:
+            raise ValueError("refactorize requires a same-shape matrix")
+        if not (
+            np.array_equal(a_new.indptr, self.a.indptr)
+            and np.array_equal(a_new.indices, self.a.indices)
+        ):
+            raise ValueError("refactorize requires the original sparsity pattern")
+        if self.blocks is None:
+            self.preprocess()
+        t0 = time.perf_counter()
+        self.a = a_new
+        work = a_new.scale(self.row_scale, self.col_scale).permute(
+            self.row_perm, self.col_perm
+        )
+        self._reordered = ensure_diagonal(work)
+        from ..symbolic import fill_in_values
+
+        refreshed = fill_in_values(self.symbolic.filled.pattern_copy(), work)
+        bs = self.blocks.bs
+        self.blocks = block_partition(refreshed, bs)
+        self.numeric_stats = factorize(self.blocks, self.dag, self.options.numeric)
+        self.phase_seconds["numeric"] = time.perf_counter() - t0
+        self._factorized = True
+        return self.numeric_stats
+
+    def estimate(
+        self,
+        *,
+        proc_counts: tuple[int, ...] = (1, 4, 16, 64),
+        platforms: tuple | None = None,
+    ) -> dict:
+        """Plan a factorisation without doing the numeric work.
+
+        Runs reordering, symbolic factorisation and preprocessing (all
+        cheap relative to numeric factorisation), then reports what the
+        numeric phase will look like: fill, FLOPs, storage, and predicted
+        times/throughputs on the modelled platforms.  Useful for choosing
+        a process count or checking that the factors fit in device memory
+        before committing to the expensive phase.
+        """
+        from ..runtime.adapters import simulate_pangulu
+        from ..runtime.machine import A100_PLATFORM, MI50_PLATFORM
+        from .memory import memory_report
+
+        if platforms is None:
+            platforms = (A100_PLATFORM, MI50_PLATFORM)
+        if self.blocks is None:
+            self.preprocess()
+        rep = memory_report(self.blocks)
+        out = {
+            "n": self.a.nrows,
+            "nnz": self.a.nnz,
+            "nnz_lu": self.symbolic.nnz_lu,
+            "fill_ratio": self.symbolic.fill_ratio,
+            "flops": self.dag.total_flops,
+            "tasks": len(self.dag),
+            "block_size": self.blocks.bs,
+            "block_grid": self.blocks.nb,
+            "factor_bytes": rep.total_bytes,
+            "predicted": {},
+        }
+        for platform in platforms:
+            for p in proc_counts:
+                sim = simulate_pangulu(self.blocks, self.dag, platform, p)
+                out["predicted"][(platform.name, p)] = {
+                    "seconds": sim.result.makespan,
+                    "gflops": sim.gflops,
+                    "sync_ratio": sim.result.sync_ratio(),
+                }
+        return out
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def residual_norm(self, x: np.ndarray, b: np.ndarray) -> float:
+        """Relative residual ``‖A x − b‖₂ / ‖b‖₂``."""
+        r = self.a.matvec(x) - b
+        denom = float(np.linalg.norm(b)) or 1.0
+        return float(np.linalg.norm(r)) / denom
+
+    def lu_product_error(self) -> float:
+        """Max-norm error ``‖(reordered A) − L·U‖∞ / ‖A‖∞`` — verifies the
+        factorisation independently of any right-hand side."""
+        self.factorize()
+        lu = self.blocks.to_csc().to_dense()
+        n = lu.shape[0]
+        l = np.tril(lu, -1) + np.eye(n)
+        u = np.triu(lu)
+        a_re = self._reordered.to_dense()
+        scale = np.abs(a_re).max() or 1.0
+        return float(np.abs(a_re - l @ u).max() / scale)

@@ -1,0 +1,211 @@
+"""Block triangular solves — phase 5 of PanguLU.
+
+After numeric factorisation the block matrix holds ``L`` (strictly below
+the diagonal blocks plus the unit-lower part of each diagonal block) and
+``U`` (diagonal and above).  Solving ``A x = b`` finishes with
+``L y = b`` (forward, by block columns) and ``U x = y`` (backward).
+Both sweeps reuse the two-layer structure: the diagonal block solves are
+within-block sparse substitutions; the off-diagonal updates are block
+mat-vecs over stored entries only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csc import CSCMatrix
+from .blocking import BlockMatrix
+
+__all__ = [
+    "solve_lower_unit",
+    "solve_upper",
+    "block_forward",
+    "block_backward",
+    "block_forward_trans",
+    "block_backward_trans",
+    "solve_lower_trans_u",
+    "solve_upper_trans_l",
+]
+
+
+def solve_lower_unit(diag: CSCMatrix, y: np.ndarray) -> None:
+    """In-place ``y ← L⁻¹ y`` with the unit-lower part of a factored
+    diagonal block.  ``y`` may be a vector or a 2-D multi-RHS panel."""
+    n = diag.ncols
+    data = diag.data
+    multi = y.ndim == 2
+    for j in range(n):
+        yj = y[j]
+        if not (yj.any() if multi else yj != 0.0):
+            continue
+        sl = diag.col_slice(j)
+        rows = diag.indices[sl]
+        start = int(np.searchsorted(rows, j + 1))
+        if start < rows.size:
+            if multi:
+                y[rows[start:]] -= np.outer(data[sl][start:], yj)
+            else:
+                y[rows[start:]] -= data[sl][start:] * yj
+
+
+def solve_upper(diag: CSCMatrix, y: np.ndarray) -> None:
+    """In-place ``y ← U⁻¹ y`` with the upper part (incl. diagonal) of a
+    factored diagonal block.  ``y`` may be a vector or a 2-D panel."""
+    n = diag.ncols
+    data = diag.data
+    multi = y.ndim == 2
+    for j in range(n - 1, -1, -1):
+        sl = diag.col_slice(j)
+        rows = diag.indices[sl]
+        vals = data[sl]
+        dpos = int(np.searchsorted(rows, j))
+        if dpos >= rows.size or rows[dpos] != j or vals[dpos] == 0.0:
+            raise ZeroDivisionError(f"zero or missing U diagonal at {j}")
+        y[j] /= vals[dpos]
+        yj = y[j]
+        if dpos > 0 and (yj.any() if multi else yj != 0.0):
+            if multi:
+                y[rows[:dpos]] -= np.outer(vals[:dpos], yj)
+            else:
+                y[rows[:dpos]] -= vals[:dpos] * yj
+
+
+def _block_matvec_sub(blk: CSCMatrix, x_seg: np.ndarray, y_seg: np.ndarray) -> None:
+    """``y_seg -= blk @ x_seg`` over stored entries only (vector or panel)."""
+    cols = np.repeat(np.arange(blk.ncols), np.diff(blk.indptr))
+    if x_seg.ndim == 2:
+        np.subtract.at(y_seg, blk.indices, blk.data[:, None] * x_seg[cols])
+    else:
+        np.subtract.at(y_seg, blk.indices, blk.data * x_seg[cols])
+
+
+def block_forward(f: BlockMatrix, b: np.ndarray) -> np.ndarray:
+    """Solve ``L y = b`` over the factored block matrix.
+
+    ``b`` may be a vector of length ``n`` or an ``(n, k)`` array of ``k``
+    right-hand sides (solved simultaneously, vectorised across columns).
+    """
+    y = np.asarray(b, dtype=np.float64).copy()
+    if y.shape[0] != f.n or y.ndim > 2:
+        raise ValueError(f"rhs has shape {y.shape}, expected ({f.n},) or ({f.n}, k)")
+    bs = f.bs
+    for k in range(f.nb):
+        seg = slice(k * bs, k * bs + f.block_order(k))
+        diag = f.block(k, k)
+        assert diag is not None
+        solve_lower_unit(diag, y[seg])
+        rows, blocks = f.blocks_in_column(k)
+        for bi, blk in zip(rows, blocks):
+            bi = int(bi)
+            if bi <= k:
+                continue
+            tgt = slice(bi * bs, bi * bs + f.block_order(bi))
+            _block_matvec_sub(blk, y[seg], y[tgt])
+    return y
+
+
+def block_backward(f: BlockMatrix, y: np.ndarray) -> np.ndarray:
+    """Solve ``U x = y`` over the factored block matrix (vector or
+    ``(n, k)`` multi-RHS array)."""
+    x = np.asarray(y, dtype=np.float64).copy()
+    if x.shape[0] != f.n or x.ndim > 2:
+        raise ValueError(f"rhs has shape {x.shape}, expected ({f.n},) or ({f.n}, k)")
+    bs = f.bs
+    for k in range(f.nb - 1, -1, -1):
+        seg = slice(k * bs, k * bs + f.block_order(k))
+        diag = f.block(k, k)
+        assert diag is not None
+        solve_upper(diag, x[seg])
+        # propagate x_k into earlier block rows through U column k blocks
+        rows, blocks = f.blocks_in_column(k)
+        for bi, blk in zip(rows, blocks):
+            bi = int(bi)
+            if bi >= k:
+                continue
+            tgt = slice(bi * bs, bi * bs + f.block_order(bi))
+            _block_matvec_sub(blk, x[seg], x[tgt])
+    return x
+
+
+def _block_matvec_t_sub(blk: CSCMatrix, x_seg: np.ndarray, y_seg: np.ndarray) -> None:
+    """``y_seg -= blkᵀ @ x_seg`` over stored entries only."""
+    cols = np.repeat(np.arange(blk.ncols), np.diff(blk.indptr))
+    np.subtract.at(y_seg, cols, blk.data * x_seg[blk.indices])
+
+
+def solve_lower_trans_u(diag: CSCMatrix, y: np.ndarray) -> None:
+    """In-place ``y ← U⁻ᵀ y`` with the upper part of a factored diagonal
+    block (``Uᵀ`` is non-unit lower triangular; forward substitution using
+    ``U``'s columns as ``Uᵀ``'s rows)."""
+    n = diag.ncols
+    data = diag.data
+    for j in range(n):
+        sl = diag.col_slice(j)
+        rows = diag.indices[sl]
+        vals = data[sl]
+        dpos = int(np.searchsorted(rows, j))
+        if dpos >= rows.size or rows[dpos] != j or vals[dpos] == 0.0:
+            raise ZeroDivisionError(f"zero or missing U diagonal at {j}")
+        if dpos > 0:
+            y[j] -= vals[:dpos] @ y[rows[:dpos]]
+        y[j] /= vals[dpos]
+
+
+def solve_upper_trans_l(diag: CSCMatrix, y: np.ndarray) -> None:
+    """In-place ``y ← L⁻ᵀ y`` with the unit-lower part of a factored
+    diagonal block (``Lᵀ`` is unit upper triangular; backward
+    substitution using ``L``'s columns as ``Lᵀ``'s rows)."""
+    n = diag.ncols
+    data = diag.data
+    for j in range(n - 1, -1, -1):
+        sl = diag.col_slice(j)
+        rows = diag.indices[sl]
+        start = int(np.searchsorted(rows, j + 1))
+        if start < rows.size:
+            y[j] -= data[sl][start:] @ y[rows[start:]]
+
+
+def block_forward_trans(f: BlockMatrix, b: np.ndarray) -> np.ndarray:
+    """Solve ``Uᵀ y = b`` over the factored block matrix (the forward
+    sweep of a transposed solve ``(LU)ᵀ v = b``)."""
+    y = np.asarray(b, dtype=np.float64).copy()
+    if y.shape != (f.n,):
+        raise ValueError(f"rhs has shape {y.shape}, expected ({f.n},)")
+    bs = f.bs
+    for k in range(f.nb):
+        seg = slice(k * bs, k * bs + f.block_order(k))
+        # contributions from earlier segments through U blocks above the
+        # diagonal in block column k (their transposes sit in row k of Uᵀ)
+        rows, blocks = f.blocks_in_column(k)
+        for bi, blk in zip(rows, blocks):
+            bi = int(bi)
+            if bi >= k:
+                continue
+            src = slice(bi * bs, bi * bs + f.block_order(bi))
+            _block_matvec_t_sub(blk, y[src], y[seg])
+        diag = f.block(k, k)
+        assert diag is not None
+        solve_lower_trans_u(diag, y[seg])
+    return y
+
+
+def block_backward_trans(f: BlockMatrix, y: np.ndarray) -> np.ndarray:
+    """Solve ``Lᵀ x = y`` over the factored block matrix (the backward
+    sweep of a transposed solve)."""
+    x = np.asarray(y, dtype=np.float64).copy()
+    if x.shape != (f.n,):
+        raise ValueError(f"rhs has shape {x.shape}, expected ({f.n},)")
+    bs = f.bs
+    for k in range(f.nb - 1, -1, -1):
+        seg = slice(k * bs, k * bs + f.block_order(k))
+        rows, blocks = f.blocks_in_column(k)
+        for bi, blk in zip(rows, blocks):
+            bi = int(bi)
+            if bi <= k:
+                continue
+            src = slice(bi * bs, bi * bs + f.block_order(bi))
+            _block_matvec_t_sub(blk, x[src], x[seg])
+        diag = f.block(k, k)
+        assert diag is not None
+        solve_upper_trans_l(diag, x[seg])
+    return x

@@ -1,0 +1,155 @@
+"""Task DAG of the distributed block triangular solves (phase 5).
+
+The paper's final phase solves ``L y = b`` and ``U x = y`` over the same
+two-layer block layout and process mapping as the factorisation.  This
+module builds the corresponding task graph so the distributed runtime can
+schedule and simulate it:
+
+* ``DIAG_F(k)`` — within-block forward solve on segment ``k``; runnable
+  once every update from earlier block columns has landed.
+* ``UPD_F(k, i)`` — ``y_i −= L(i,k) · y_k`` for each stored L block.
+* ``DIAG_B(k)`` / ``UPD_B(k, i)`` — the mirrored backward sweep
+  (``UPD_B`` pushes ``x_k`` up through ``U(i,k)``, ``i < k``).
+
+The backward sweep chains off the forward one per segment (``DIAG_B(k)``
+additionally waits for ``DIAG_F(k)``), so the two solves pipeline the way
+the real distributed phase does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from .blocking import BlockMatrix
+
+__all__ = ["TSolveTaskType", "TSolveDAG", "build_tsolve_dag"]
+
+
+class TSolveTaskType(enum.IntEnum):
+    DIAG_F = 0
+    UPD_F = 1
+    DIAG_B = 2
+    UPD_B = 3
+
+
+@dataclass
+class TSolveDAG:
+    """Flat arrays describing the triangular-solve task graph."""
+
+    kinds: np.ndarray
+    k_of: np.ndarray          # source segment
+    target: np.ndarray        # segment written by the task
+    flops: np.ndarray
+    out_bytes: np.ndarray     # segment bytes carried to consumers
+    n_deps: np.ndarray
+    successors: list[list[int]]
+    owner: np.ndarray
+    total_flops: float
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+
+def _diag_solve_flops(f: BlockMatrix, k: int, *, lower: bool) -> float:
+    diag = f.block(k, k)
+    assert diag is not None
+    n = diag.ncols
+    strict = 0
+    for j in range(n):
+        rows = diag.indices[diag.col_slice(j)]
+        pos = int(np.searchsorted(rows, j))
+        strict += (rows.size - pos - 1) if lower else pos
+    return 2.0 * strict + (0.0 if lower else n)
+
+
+def build_tsolve_dag(f: BlockMatrix, owner_of_block) -> TSolveDAG:
+    """Build the solve DAG; ``owner_of_block(bi, bj) -> proc`` sets task
+    placement (diag tasks on the diagonal block's owner, updates on the
+    off-diagonal block's owner — data stays put, vectors move)."""
+    nb = f.nb
+    kinds: list[int] = []
+    k_of: list[int] = []
+    target: list[int] = []
+    flops: list[float] = []
+    out_b: list[float] = []
+    owner: list[int] = []
+
+    def add(kind: TSolveTaskType, k: int, tgt: int, fl: float, p: int) -> int:
+        tid = len(kinds)
+        kinds.append(int(kind))
+        k_of.append(k)
+        target.append(tgt)
+        flops.append(fl)
+        out_b.append(8.0 * f.block_order(tgt))
+        owner.append(p)
+        return tid
+
+    diag_f: dict[int, int] = {}
+    diag_b: dict[int, int] = {}
+    upd_f: list[tuple[int, int, int]] = []  # (tid, k, i)
+    upd_b: list[tuple[int, int, int]] = []
+
+    for k in range(nb):
+        diag_f[k] = add(
+            TSolveTaskType.DIAG_F, k, k,
+            _diag_solve_flops(f, k, lower=True),
+            owner_of_block(k, k),
+        )
+        rows, blocks = f.blocks_in_column(k)
+        for bi, blk in zip(rows, blocks):
+            bi = int(bi)
+            if bi > k:
+                tid = add(
+                    TSolveTaskType.UPD_F, k, bi, 2.0 * blk.nnz,
+                    owner_of_block(bi, k),
+                )
+                upd_f.append((tid, k, bi))
+    for k in range(nb - 1, -1, -1):
+        diag_b[k] = add(
+            TSolveTaskType.DIAG_B, k, k,
+            _diag_solve_flops(f, k, lower=False),
+            owner_of_block(k, k),
+        )
+        rows, blocks = f.blocks_in_column(k)
+        for bi, blk in zip(rows, blocks):
+            bi = int(bi)
+            if bi < k:
+                tid = add(
+                    TSolveTaskType.UPD_B, k, bi, 2.0 * blk.nnz,
+                    owner_of_block(bi, k),
+                )
+                upd_b.append((tid, k, bi))
+
+    n = len(kinds)
+    n_deps = np.zeros(n, dtype=np.int64)
+    successors: list[list[int]] = [[] for _ in range(n)]
+
+    def dep(pred: int, succ: int) -> None:
+        successors[pred].append(succ)
+        n_deps[succ] += 1
+
+    # forward: DIAG_F(k) <- every UPD_F(j, k); UPD_F(k, i) <- DIAG_F(k)
+    for tid, k, i in upd_f:
+        dep(diag_f[k], tid)
+        dep(tid, diag_f[i])
+    # backward mirrors, plus the forward->backward chain per segment
+    for tid, k, i in upd_b:
+        dep(diag_b[k], tid)
+        dep(tid, diag_b[i])
+    for k in range(nb):
+        dep(diag_f[k], diag_b[k])
+
+    return TSolveDAG(
+        kinds=np.asarray(kinds, dtype=np.int64),
+        k_of=np.asarray(k_of, dtype=np.int64),
+        target=np.asarray(target, dtype=np.int64),
+        flops=np.asarray(flops),
+        out_bytes=np.asarray(out_b),
+        n_deps=n_deps,
+        successors=successors,
+        owner=np.asarray(owner, dtype=np.int64),
+        total_flops=float(np.sum(flops)),
+    )

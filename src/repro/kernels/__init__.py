@@ -1,0 +1,78 @@
+"""Block sparse BLAS: the 17 kernel variants (GETRF×3, GESSM×5, TSTRF×5,
+SSSSM×4), structural FLOP counters, the kernel registry, and the
+decision-tree selector of Fig. 8."""
+
+from .base import SingularBlockError, Workspace, split_lu
+from .batched import gessm_batched, tstrf_batched
+from .flops import (
+    gessm_flops,
+    getrf_flops,
+    ssssm_flops_structural,
+    tstrf_flops,
+)
+from .getrf import GETRF_VARIANTS, getrf_c_v1, getrf_g_v1, getrf_g_v2
+from .gessm import (
+    GESSM_VARIANTS,
+    gessm_c_v1,
+    gessm_c_v2,
+    gessm_g_v1,
+    gessm_g_v2,
+    gessm_g_v3,
+)
+from .registry import (
+    KERNEL_REGISTRY,
+    KernelType,
+    get_kernel,
+    is_gpu_version,
+    kernel_names,
+)
+from .selector import (
+    DecisionTree,
+    SelectorPolicy,
+    Split,
+    TaskFeatures,
+    calibrate,
+    default_trees,
+)
+from .ssssm import (
+    SSSSM_VARIANTS,
+    ssssm_c_v1,
+    ssssm_c_v2,
+    ssssm_g_v1,
+    ssssm_g_v2,
+)
+from .tstrf import (
+    TSTRF_VARIANTS,
+    tstrf_c_v1,
+    tstrf_c_v2,
+    tstrf_g_v1,
+    tstrf_g_v2,
+    tstrf_g_v3,
+)
+
+__all__ = [
+    "KernelType",
+    "KERNEL_REGISTRY",
+    "kernel_names",
+    "get_kernel",
+    "is_gpu_version",
+    "Workspace",
+    "SingularBlockError",
+    "split_lu",
+    "gessm_batched",
+    "tstrf_batched",
+    "getrf_flops",
+    "gessm_flops",
+    "tstrf_flops",
+    "ssssm_flops_structural",
+    "GETRF_VARIANTS",
+    "GESSM_VARIANTS",
+    "TSTRF_VARIANTS",
+    "SSSSM_VARIANTS",
+    "DecisionTree",
+    "Split",
+    "TaskFeatures",
+    "SelectorPolicy",
+    "default_trees",
+    "calibrate",
+]

@@ -1,0 +1,167 @@
+"""Shared infrastructure for the block sparse kernels.
+
+Every numeric kernel operates on :class:`~repro.sparse.csc.CSCMatrix`
+blocks whose pattern is *fixed* by the symbolic factorisation.  The fill
+closure property (if ``F[r,t]`` and ``F[t,c]`` are present with
+``t < min(r, c)`` then ``F[r,c]`` is present) guarantees that every value a
+kernel produces has a preallocated slot, which is what makes the paper's
+three addressing methods well-defined:
+
+* **Direct / dense mapping** — scatter the block into a reusable dense
+  workspace, compute with dense vectorised operations, gather back into
+  the pattern.
+* **Bin-search** — stay sparse and locate update targets with binary
+  search (``numpy.searchsorted``) in the target column's sorted indices.
+* **Merge** — locate targets by merging two sorted index lists
+  (``numpy.intersect1d`` on sorted-unique arrays).
+
+This module provides the dense workspace, scatter/gather helpers, and
+the L/U split views of a factored diagonal block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sparse.csc import CSCMatrix
+
+__all__ = [
+    "Workspace",
+    "scatter_dense",
+    "gather_dense",
+    "split_lu",
+    "solve_levels",
+    "csc_to_csr_arrays",
+    "SingularBlockError",
+]
+
+
+class SingularBlockError(ArithmeticError):
+    """A diagonal pivot was exactly zero during GETRF.
+
+    With MC64 preprocessing this indicates severe cancellation; callers may
+    retry with a perturbed pivot (static pivoting à la SuperLU GESP).
+    """
+
+
+@dataclass
+class Workspace:
+    """Reusable dense scratch space for the dense-mapping kernel variants.
+
+    One instance per executing worker; kernels may freely overwrite the
+    arrays.  Grown on demand, never shrunk.
+    """
+
+    _dense_a: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+    _dense_b: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+    _dense_c: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+    _vec: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    def dense(self, which: str, shape: tuple[int, int]) -> np.ndarray:
+        """Return a zeroed dense scratch array of at least ``shape``.
+
+        ``which`` selects one of three independent buffers (``"a"``,
+        ``"b"``, ``"c"``) so a kernel can hold three operands at once.
+        """
+        attr = f"_dense_{which}"
+        buf = getattr(self, attr)
+        if buf.shape[0] < shape[0] or buf.shape[1] < shape[1]:
+            newshape = (max(buf.shape[0], shape[0]), max(buf.shape[1], shape[1]))
+            buf = np.zeros(newshape)
+            setattr(self, attr, buf)
+        view = buf[: shape[0], : shape[1]]
+        view[...] = 0.0
+        return view
+
+    def vector(self, n: int) -> np.ndarray:
+        """Zeroed 1-D scratch of length ``n``."""
+        if self._vec.size < n:
+            self._vec = np.zeros(n)
+        v = self._vec[:n]
+        v[...] = 0.0
+        return v
+
+
+def scatter_dense(block: CSCMatrix, out: np.ndarray) -> None:
+    """Scatter the block values into ``out`` (must be zeroed, block-shaped)."""
+    rows, cols = block.rows_cols()
+    out[rows, cols] = block.data
+
+
+def gather_dense(block: CSCMatrix, dense: np.ndarray) -> None:
+    """Gather values from ``dense`` back into the block's fixed pattern."""
+    rows, cols = block.rows_cols()
+    block.data[...] = dense[rows, cols]
+
+
+def split_lu(diag: CSCMatrix) -> tuple[CSCMatrix, CSCMatrix]:
+    """Split a factored diagonal block into ``(L, U)``.
+
+    ``L`` is unit-lower (unit diagonal stored explicitly), ``U`` is upper
+    including the diagonal.  Both are fresh CSC matrices.
+    """
+    n = diag.ncols
+    l_indptr = np.zeros(n + 1, dtype=np.int64)
+    u_indptr = np.zeros(n + 1, dtype=np.int64)
+    l_idx: list[np.ndarray] = []
+    l_val: list[np.ndarray] = []
+    u_idx: list[np.ndarray] = []
+    u_val: list[np.ndarray] = []
+    data = diag.data
+    for j in range(n):
+        sl = diag.col_slice(j)
+        rows = diag.indices[sl]
+        vals = data[sl]
+        pos = int(np.searchsorted(rows, j))
+        below = rows > j
+        upto = rows <= j
+        l_idx.append(np.concatenate([[j], rows[below]]))
+        l_val.append(np.concatenate([[1.0], vals[below]]))
+        u_idx.append(rows[upto])
+        u_val.append(vals[upto])
+        l_indptr[j + 1] = l_indptr[j] + l_idx[-1].size
+        u_indptr[j + 1] = u_indptr[j] + u_idx[-1].size
+        del pos
+    l = CSCMatrix(
+        diag.shape,
+        l_indptr,
+        np.concatenate(l_idx) if l_idx else np.zeros(0, np.int64),
+        np.concatenate(l_val) if l_val else np.zeros(0),
+        check=False,
+    )
+    u = CSCMatrix(
+        diag.shape,
+        u_indptr,
+        np.concatenate(u_idx) if u_idx else np.zeros(0, np.int64),
+        np.concatenate(u_val) if u_val else np.zeros(0),
+        check=False,
+    )
+    return l, u
+
+
+def csc_to_csr_arrays(
+    m: CSCMatrix,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(indptr, col_indices, data)`` of the CSR form of ``m``."""
+    t = m.transpose()
+    return t.indptr, t.indices, t.data
+
+
+def solve_levels(l_csr_indptr: np.ndarray, l_csr_cols: np.ndarray, n: int) -> list[np.ndarray]:
+    """Level sets of a lower-triangular solve DAG given CSR of strict-L.
+
+    ``level[r] = 1 + max(level[c])`` over the strictly-lower columns ``c``
+    in row ``r``; rows with no dependencies are level 0.  Returns the rows
+    grouped per level — rows within one level can be solved in parallel
+    (the paper's "un-sync row" parallelisation).
+    """
+    level = np.zeros(n, dtype=np.int64)
+    for r in range(n):
+        cols = l_csr_cols[l_csr_indptr[r] : l_csr_indptr[r + 1]]
+        cols = cols[cols < r]
+        if cols.size:
+            level[r] = int(level[cols].max()) + 1
+    nlev = int(level.max()) + 1 if n else 0
+    return [np.flatnonzero(level == d).astype(np.int64) for d in range(nlev)]

@@ -1,0 +1,67 @@
+"""Kernel registry: the 17 sparse kernel variants of Table 1.
+
+Each variant is addressed as ``(KernelType, version)`` — e.g.
+``(KernelType.SSSSM, "G_V1")``.  Versions starting with ``C_`` are the
+CPU-class algorithms (pure sparse loops, merge addressing); versions
+starting with ``G_`` are the GPU-class algorithms (throughput-oriented:
+dense workspaces, level scheduling, compiled offload).  The distinction
+feeds the heterogeneous cost model in :mod:`repro.runtime.costmodel`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+
+from .getrf import GETRF_VARIANTS
+from .gessm import GESSM_VARIANTS
+from .ssssm import SSSSM_VARIANTS
+from .tstrf import TSTRF_VARIANTS
+
+__all__ = ["KernelType", "KERNEL_REGISTRY", "kernel_names", "get_kernel", "is_gpu_version"]
+
+
+class KernelType(enum.Enum):
+    """The four block-kernel roles of PanguLU's numeric factorisation."""
+
+    GETRF = "GETRF"   # diagonal-block LU
+    GESSM = "GESSM"   # lower triangular solve (block column of U)
+    TSTRF = "TSTRF"   # upper triangular solve (block row of L)
+    SSSSM = "SSSSM"   # sparse-sparse Schur update
+
+    def __str__(self) -> str:  # pragma: no cover - display only
+        return self.value
+
+
+KERNEL_REGISTRY: dict[KernelType, dict[str, Callable]] = {
+    KernelType.GETRF: dict(GETRF_VARIANTS),
+    KernelType.GESSM: dict(GESSM_VARIANTS),
+    KernelType.TSTRF: dict(TSTRF_VARIANTS),
+    KernelType.SSSSM: dict(SSSSM_VARIANTS),
+}
+
+
+def kernel_names() -> list[tuple[KernelType, str]]:
+    """All 17 ``(type, version)`` pairs, in Table 1 order."""
+    return [
+        (ktype, version)
+        for ktype, versions in KERNEL_REGISTRY.items()
+        for version in versions
+    ]
+
+
+def get_kernel(ktype: KernelType, version: str) -> Callable:
+    """Look up a kernel implementation; raises ``KeyError`` with the list of
+    valid versions on a miss."""
+    versions = KERNEL_REGISTRY[ktype]
+    try:
+        return versions[version]
+    except KeyError:
+        raise KeyError(
+            f"{ktype} has no version {version!r}; valid: {sorted(versions)}"
+        ) from None
+
+
+def is_gpu_version(version: str) -> bool:
+    """True for the GPU-class (throughput-oriented) variants."""
+    return version.startswith("G_")

@@ -1,0 +1,265 @@
+"""Decision-tree kernel selection (Fig. 8 of the paper).
+
+PanguLU picks one of the 17 kernel variants per task from cheap structural
+features: ``nnz`` of the operand for the panel kernels (GETRF / GESSM /
+TSTRF) and the FLOP count for SSSSM.  The paper derives its thresholds
+from a large sweep of measured kernel times on the target GPU; this module
+
+* represents such trees as explicit data (:class:`DecisionTree` /
+  :class:`Split` / leaf strings) so the paper's topology is preserved;
+* ships :func:`default_trees` with thresholds calibrated for *this*
+  implementation's kernels (the absolute crossover points of CUDA kernels
+  on an A100 obviously differ from NumPy kernels — what is reproduced is
+  the mechanism and its effect, see the Fig. 14 ablation bench);
+* provides :func:`calibrate` to rebuild the thresholds from fresh
+  measurements, mirroring the paper's data-driven construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from .registry import KernelType
+
+__all__ = [
+    "Split",
+    "DecisionTree",
+    "TaskFeatures",
+    "default_trees",
+    "calibrate",
+    "SelectorPolicy",
+]
+
+
+@dataclass(frozen=True)
+class TaskFeatures:
+    """Structural features available to the selector before numeric work.
+
+    Attributes
+    ----------
+    nnz_a:
+        nnz of the primary operand (the block for GETRF, the factored
+        diagonal block for GESSM/TSTRF, the L-block for SSSSM).
+    nnz_b:
+        nnz of the secondary operand (0 when not applicable).
+    flops:
+        structural FLOP count of the task.
+    n:
+        block order (rows of the diagonal block).
+    density:
+        nnz of the *output* block over its dense capacity.
+    """
+
+    nnz_a: int
+    nnz_b: int = 0
+    flops: int = 0
+    n: int = 1
+    density: float = 0.0
+
+    def get(self, feature: str) -> float:
+        value = getattr(self, feature, None)
+        if value is None:
+            raise KeyError(f"unknown feature {feature!r}")
+        return float(value)
+
+
+Node = Union["Split", str]
+
+
+@dataclass(frozen=True)
+class Split:
+    """Internal decision node: go ``left`` when ``feature < threshold``."""
+
+    feature: str
+    threshold: float
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class DecisionTree:
+    """A per-kernel-type decision tree selecting a kernel version string.
+
+    >>> tree = DecisionTree(Split("nnz_a", 100.0, "C_V1", "G_V1"))
+    >>> tree.select(TaskFeatures(nnz_a=10))
+    'C_V1'
+    >>> tree.select(TaskFeatures(nnz_a=1000))
+    'G_V1'
+    """
+
+    root: Node
+
+    def select(self, feats: TaskFeatures) -> str:
+        node: Node = self.root
+        while isinstance(node, Split):
+            node = node.left if feats.get(node.feature) < node.threshold else node.right
+        return node
+
+    def leaves(self) -> list[str]:
+        """All version strings reachable from this tree."""
+        out: list[str] = []
+        stack: list[Node] = [self.root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Split):
+                stack.extend([node.left, node.right])
+            else:
+                out.append(node)
+        return out
+
+
+def default_trees() -> dict[KernelType, DecisionTree]:
+    """Default selection trees.
+
+    Topology follows Fig. 8 (small-nnz → CPU-class sparse kernels,
+    mid-range → bin-search/level GPU kernels, large/dense → dense-mapped or
+    compiled kernels); thresholds are calibrated to this implementation
+    (see ``benchmarks/bench_fig08_selector.py`` for the measured sweep).
+    """
+    # Thresholds below come from the measured sweep over block orders
+    # 16–256 and densities 0.01–1.0 (see bench_fig07_kernels.py): the
+    # sparse left-looking kernels win tiny/very sparse blocks, the
+    # dense-workspace variants win medium densities, and the dense /
+    # compiled paths win dense or very large panels.
+    getrf = DecisionTree(
+        Split(
+            "nnz_a",
+            100.0,
+            "G_V1",
+            Split("density", 0.22, "G_V2", "C_V1"),
+        )
+    )
+    gessm = DecisionTree(
+        Split(
+            "nnz_b",
+            30.0,
+            Split("nnz_b", 12.0, "C_V1", "G_V1"),
+            Split("nnz_b", 20_000.0, "C_V2", "G_V3"),
+        )
+    )
+    tstrf = DecisionTree(
+        Split("nnz_b", 25_000.0, "C_V2", "G_V3")
+    )
+    ssssm = DecisionTree(
+        Split(
+            "n",
+            96.0,
+            "C_V1",
+            Split(
+                "density",
+                0.2,
+                Split("flops", 100.0, "C_V2", "G_V1"),
+                "C_V1",
+            ),
+        )
+    )
+    return {
+        KernelType.GETRF: getrf,
+        KernelType.GESSM: gessm,
+        KernelType.TSTRF: tstrf,
+        KernelType.SSSSM: ssssm,
+    }
+
+
+def fixed_trees(versions: dict[KernelType, str]) -> dict[KernelType, DecisionTree]:
+    """Degenerate trees that always pick one version per type — the paper's
+    "baseline" configuration in the Fig. 14 ablation."""
+    return {k: DecisionTree(v) for k, v in versions.items()}
+
+
+@dataclass
+class SelectorPolicy:
+    """Kernel selection policy used by the numeric driver.
+
+    ``adaptive=True`` consults the decision trees; ``adaptive=False``
+    always returns the fixed baseline version (ablation mode).
+    """
+
+    trees: dict[KernelType, DecisionTree]
+    adaptive: bool = True
+    baseline: dict[KernelType, str] | None = None
+
+    @classmethod
+    def default(cls) -> "SelectorPolicy":
+        return cls(trees=default_trees())
+
+    @classmethod
+    def fixed(cls, versions: dict[KernelType, str] | None = None) -> "SelectorPolicy":
+        """The non-adaptive baseline of the Fig. 14 ablation."""
+        if versions is None:
+            versions = {
+                KernelType.GETRF: "G_V1",
+                KernelType.GESSM: "G_V1",
+                KernelType.TSTRF: "G_V1",
+                KernelType.SSSSM: "C_V2",
+            }
+        return cls(trees=fixed_trees(versions), adaptive=False, baseline=versions)
+
+    def select(self, ktype: KernelType, feats: TaskFeatures) -> str:
+        return self.trees[ktype].select(feats)
+
+
+def calibrate(
+    measurements: dict[KernelType, list[tuple[TaskFeatures, dict[str, float]]]],
+    *,
+    feature_by_type: dict[KernelType, str] | None = None,
+    max_depth: int = 3,
+) -> dict[KernelType, DecisionTree]:
+    """Rebuild decision trees from measured per-variant kernel times.
+
+    ``measurements[ktype]`` is a list of ``(features, {version: seconds})``
+    samples.  A small exact CART over one feature per type (the paper uses
+    nnz for panel kernels, FLOPs for SSSSM) greedily picks thresholds
+    minimising the total time of the selected kernels.
+    """
+    if feature_by_type is None:
+        feature_by_type = {
+            KernelType.GETRF: "nnz_a",
+            KernelType.GESSM: "nnz_b",
+            KernelType.TSTRF: "nnz_b",
+            KernelType.SSSSM: "flops",
+        }
+
+    def best_leaf(samples: list[tuple[TaskFeatures, dict[str, float]]]) -> tuple[str, float]:
+        totals: dict[str, float] = {}
+        for _, times in samples:
+            for v, t in times.items():
+                totals[v] = totals.get(v, 0.0) + t
+        version = min(totals, key=totals.get)  # type: ignore[arg-type]
+        return version, totals[version]
+
+    def build(samples, feature, depth) -> Node:
+        leaf, leaf_cost = best_leaf(samples)
+        if depth >= max_depth or len(samples) < 4:
+            return leaf
+        xs = sorted({s.get(feature) for s, _ in samples})
+        best: tuple[float, Node] = (leaf_cost, leaf)
+        for i in range(1, len(xs)):
+            thr = 0.5 * (xs[i - 1] + xs[i])
+            left = [s for s in samples if s[0].get(feature) < thr]
+            right = [s for s in samples if s[0].get(feature) >= thr]
+            if not left or not right:
+                continue
+            _, cl = best_leaf(left)
+            _, cr = best_leaf(right)
+            if cl + cr < best[0] - 1e-12:
+                best = (
+                    cl + cr,
+                    Split(
+                        feature,
+                        thr,
+                        build(left, feature, depth + 1),
+                        build(right, feature, depth + 1),
+                    ),
+                )
+        return best[1]
+
+    out: dict[KernelType, DecisionTree] = {}
+    for ktype, samples in measurements.items():
+        if not samples:
+            raise ValueError(f"no samples for {ktype}")
+        out[ktype] = DecisionTree(build(samples, feature_by_type[ktype], 0))
+    return out

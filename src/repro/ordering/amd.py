@@ -1,0 +1,194 @@
+"""Approximate Minimum Degree (AMD) fill-reducing ordering.
+
+A from-scratch implementation of the Amestoy–Davis–Duff algorithm on the
+quotient graph: eliminated pivots become *elements*, adjacent variables with
+identical adjacency are merged into *supervariables* (mass elimination), and
+external degrees are updated with the AMD approximate-degree bound rather
+than exact set unions.
+
+This plays the role METIS/AMD plays in PanguLU's reordering phase: reduce
+fill before symbolic factorisation.  Both solvers under test share the same
+ordering, so the paper's comparisons are unaffected by the exact ordering
+quality.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..sparse.csc import CSCMatrix
+from ..sparse.patterns import adjacency_lists
+
+__all__ = ["amd", "minimum_degree"]
+
+
+def amd(a: CSCMatrix) -> np.ndarray:
+    """Compute an approximate-minimum-degree permutation.
+
+    Parameters
+    ----------
+    a:
+        Square sparse matrix; its symmetrised pattern defines the
+        elimination graph.
+
+    Returns
+    -------
+    numpy.ndarray
+        "New-from-old" permutation ``p``: eliminating variables in the order
+        ``p[0], p[1], …`` approximately minimises fill, i.e. reorder with
+        ``A[p][:, p]``.
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("AMD requires a square matrix")
+    n = a.ncols
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+
+    adj = adjacency_lists(a)
+    adj_var: list[set[int]] = [set(map(int, nb)) for nb in adj]
+    adj_el: list[set[int]] = [set() for _ in range(n)]
+    el_vars: dict[int, set[int]] = {}
+    nv = np.ones(n, dtype=np.int64)        # supervariable sizes
+    alive = np.ones(n, dtype=bool)
+    absorbed_into = np.full(n, -1, dtype=np.int64)
+    degree = np.asarray([len(s) for s in adj_var], dtype=np.int64)
+
+    heap: list[tuple[int, int]] = [(int(degree[i]), i) for i in range(n)]
+    heapq.heapify(heap)
+
+    order: list[int] = []
+    eliminated = np.zeros(n, dtype=bool)
+
+    def element_size(e: int) -> int:
+        return int(sum(nv[v] for v in el_vars[e]))
+
+    while heap:
+        d, p = heapq.heappop(heap)
+        if not alive[p] or eliminated[p] or d != degree[p]:
+            continue  # stale heap entry or merged supervariable
+
+        # --- form the pivot element Lp -----------------------------------
+        lp: set[int] = set(v for v in adj_var[p] if alive[v])
+        for e in adj_el[p]:
+            lp |= el_vars[e]
+        lp.discard(p)
+        lp = {v for v in lp if alive[v] and not eliminated[v]}
+
+        eliminated[p] = True
+        order.append(p)
+        parents_els = set(adj_el[p])
+        # absorb old elements into the new one
+        for e in parents_els:
+            el_vars.pop(e, None)
+        el_vars[p] = set(lp)
+
+        # --- update each variable in Lp ----------------------------------
+        lp_and_p = lp | {p}
+        for i in lp:
+            adj_var[i] -= lp_and_p
+            adj_el[i] -= parents_els
+            adj_el[i].add(p)
+
+        # --- approximate external degrees ---------------------------------
+        # |Le \ Lp| for every element e still adjacent to some i in Lp,
+        # computed with one counting pass (the AMD w-trick).
+        overlap: dict[int, int] = {}
+        for i in lp:
+            for e in adj_el[i]:
+                if e == p:
+                    continue
+                overlap[e] = overlap.get(e, 0) + int(nv[i])
+        el_sizes = {e: element_size(e) for e in overlap}
+
+        lp_size = int(sum(nv[v] for v in lp))
+        for i in lp:
+            ext = lp_size - int(nv[i])
+            ext += int(sum(nv[v] for v in adj_var[i]))
+            for e in adj_el[i]:
+                if e == p:
+                    continue
+                ext += max(0, el_sizes[e] - overlap[e])
+            new_d = min(n - len(order), ext)
+            degree[i] = max(0, new_d)
+
+        # --- supervariable detection (hash + exact compare) ---------------
+        buckets: dict[int, list[int]] = {}
+        for i in lp:
+            key = hash(
+                (frozenset(adj_el[i]), len(adj_var[i]))
+            )
+            buckets.setdefault(key, []).append(i)
+        for bucket in buckets.values():
+            if len(bucket) < 2:
+                continue
+            kept: list[int] = []
+            for i in bucket:
+                merged = False
+                for j in kept:
+                    if adj_el[i] == adj_el[j] and adj_var[i] == adj_var[j]:
+                        # merge i into j
+                        nv[j] += nv[i]
+                        alive[i] = False
+                        absorbed_into[i] = j
+                        el_vars[p].discard(i)
+                        for e in adj_el[i]:
+                            if e in el_vars:
+                                el_vars[e].discard(i)
+                        adj_var[i].clear()
+                        adj_el[i].clear()
+                        merged = True
+                        break
+                if not merged:
+                    kept.append(i)
+
+        for i in el_vars[p]:
+            heapq.heappush(heap, (int(degree[i]), i))
+
+    # expand supervariables: absorbed variables are eliminated together with
+    # (immediately after) their representative
+    expansion: dict[int, list[int]] = {}
+    for i in range(n):
+        if absorbed_into[i] >= 0:
+            root = int(absorbed_into[i])
+            while absorbed_into[root] >= 0:
+                root = int(absorbed_into[root])
+            expansion.setdefault(root, []).append(i)
+
+    full_order: list[int] = []
+    for p in order:
+        full_order.append(p)
+        full_order.extend(sorted(expansion.get(p, [])))
+    if len(full_order) != n:  # pragma: no cover - safety net
+        seen = set(full_order)
+        full_order.extend(i for i in range(n) if i not in seen)
+    return np.asarray(full_order, dtype=np.int64)
+
+
+def minimum_degree(a: CSCMatrix) -> np.ndarray:
+    """Exact (non-approximate) minimum-degree ordering.
+
+    Slower than :func:`amd` but useful as a quality reference in tests.
+    """
+    n = a.ncols
+    adj: list[set[int]] = [set(map(int, nb)) for nb in adjacency_lists(a)]
+    alive = np.ones(n, dtype=bool)
+    order: list[int] = []
+    heap = [(len(adj[i]), i) for i in range(n)]
+    heapq.heapify(heap)
+    while len(order) < n:
+        d, p = heapq.heappop(heap)
+        if not alive[p] or d != len(adj[p]):
+            continue
+        alive[p] = False
+        order.append(p)
+        nbrs = [v for v in adj[p] if alive[v]]
+        for i in nbrs:
+            adj[i].discard(p)
+            for j in nbrs:
+                if j != i:
+                    adj[i].add(j)
+            heapq.heappush(heap, (len(adj[i]), i))
+        adj[p].clear()
+    return np.asarray(order, dtype=np.int64)

@@ -1,0 +1,39 @@
+"""Column approximate minimum degree (COLAMD-role ordering).
+
+SuperLU's default fill-reducing ordering for unsymmetric matrices is
+COLAMD — approximate minimum degree applied to the pattern of ``AᵀA``
+without forming it.  This implementation takes the direct route (form
+the boolean ``AᵀA`` pattern, then run our AMD on it), which matches
+COLAMD's *result quality* at a memory cost that is acceptable at this
+reproduction's scales.  It exists so the baseline can be configured with
+SuperLU's own default instead of sharing PanguLU's ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..sparse.csc import CSCMatrix
+from .amd import amd
+
+__all__ = ["colamd"]
+
+
+def colamd(a: CSCMatrix) -> np.ndarray:
+    """Column ordering minimising fill of ``AᵀA``'s Cholesky factor.
+
+    Returns a "new-from-old" column permutation ``p``; for LU with partial
+    or static pivoting the standard usage is ``A[:, p]`` (we apply it
+    symmetrically downstream, consistent with the rest of the pipeline).
+    """
+    if a.ncols == 0:
+        return np.zeros(0, dtype=np.int64)
+    m = sp.csc_matrix(
+        (np.ones(a.nnz), a.indices.copy(), a.indptr.copy()), shape=a.shape
+    )
+    ata = (m.T @ m).tocsc()
+    ata.sum_duplicates()
+    ata.sort_indices()
+    ata.data[:] = 1.0
+    return amd(CSCMatrix.from_scipy(ata))

@@ -1,0 +1,60 @@
+"""Distributed heterogeneous runtime substrate: platform/network models,
+kernel cost models, the discrete-event simulator, and the real threaded
+synchronisation-free executor."""
+
+from .adapters import (
+    PanguLUSimulation,
+    price_tasks,
+    simulate_pangulu,
+    simulate_tsolve,
+)
+from .distributed import DistributedStats, factorize_distributed
+from .costmodel import (
+    BYTES_PER_ENTRY,
+    SimTask,
+    VARIANT_PROFILES,
+    VariantProfile,
+    best_version,
+    extract_sim_tasks,
+    kernel_time,
+    simulated_trees,
+)
+from .machine import (
+    A100_PLATFORM,
+    CPU_PLATFORM,
+    MI50_PLATFORM,
+    Device,
+    Platform,
+)
+from .simulator import SimResult, SimSpec, simulate
+from .trace import to_chrome_trace, write_chrome_trace
+from .threaded import ThreadedStats, factorize_threaded
+
+__all__ = [
+    "Device",
+    "Platform",
+    "A100_PLATFORM",
+    "MI50_PLATFORM",
+    "CPU_PLATFORM",
+    "SimTask",
+    "VariantProfile",
+    "VARIANT_PROFILES",
+    "kernel_time",
+    "best_version",
+    "extract_sim_tasks",
+    "simulated_trees",
+    "BYTES_PER_ENTRY",
+    "SimSpec",
+    "SimResult",
+    "simulate",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "PanguLUSimulation",
+    "simulate_pangulu",
+    "simulate_tsolve",
+    "price_tasks",
+    "DistributedStats",
+    "factorize_distributed",
+    "ThreadedStats",
+    "factorize_threaded",
+]

@@ -1,0 +1,249 @@
+"""Roofline-style kernel cost models for the simulated platforms.
+
+Each kernel variant's simulated time on a device is
+
+``t = launch · launch_scale + max(work / (peak · eff), bytes / mem_bw)``
+
+where *work* is either the structural FLOP count (sparse variants) or the
+dense operation count of the block shape (dense-mapped variants — these
+really do spend the padded FLOPs, which is the paper's core argument
+against dense BLAS on sparse blocks), *eff* is the device's dense or
+sparse efficiency times a per-variant factor, and *bytes* counts the data
+the variant actually touches (pattern+values for sparse, full block
+panels for dense-mapped).
+
+``C_*`` variants run on the host CPU share, ``G_*`` on the process's GPU —
+so variant choice decides the executing device, exactly the heterogeneous
+trade-off PanguLU's decision trees navigate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.blocking import BlockMatrix
+from ..core.dag import TaskDAG, TaskType
+from ..kernels.registry import KERNEL_REGISTRY, KernelType, is_gpu_version
+from .machine import Device, Platform
+
+__all__ = [
+    "SimTask",
+    "VariantProfile",
+    "VARIANT_PROFILES",
+    "kernel_time",
+    "best_version",
+    "extract_sim_tasks",
+    "simulated_trees",
+    "BYTES_PER_ENTRY",
+]
+
+#: bytes of one stored sparse entry (8-byte value + 4-byte index, amortised
+#: column pointers ignored)
+BYTES_PER_ENTRY = 12.0
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """Device-independent record of one task for the simulator."""
+
+    tid: int
+    ttype: TaskType
+    k: int
+    bi: int
+    bj: int
+    flops: int          # structural (sparse) FLOPs
+    dense_flops: float  # FLOPs a dense-mapped variant performs
+    nnz_a: int
+    nnz_b: int
+    nnz_target: int
+    rows: int           # target block rows
+    cols: int           # target block cols
+    inner: int          # contraction dimension (diag/block order)
+    out_bytes: float    # message size when the result must move
+    operand_density: float = 0.0  # max operand density (regularity proxy)
+
+
+@dataclass(frozen=True)
+class VariantProfile:
+    """How one kernel variant maps onto the device model."""
+
+    dense_work: bool        # charge dense_flops instead of structural flops
+    dense_bytes: bool       # touch full dense panels instead of nnz entries
+    eff_scale: float = 1.0  # multiplier on the device efficiency
+    launch_scale: float = 1.0
+
+
+VARIANT_PROFILES: dict[tuple[KernelType, str], VariantProfile] = {
+    (KernelType.GETRF, "C_V1"): VariantProfile(True, True),
+    (KernelType.GETRF, "G_V1"): VariantProfile(False, False),
+    (KernelType.GETRF, "G_V2"): VariantProfile(False, False, eff_scale=1.6),
+    (KernelType.GESSM, "C_V1"): VariantProfile(False, False, eff_scale=0.7),
+    (KernelType.GESSM, "C_V2"): VariantProfile(True, True),
+    (KernelType.GESSM, "G_V1"): VariantProfile(False, False),
+    (KernelType.GESSM, "G_V2"): VariantProfile(False, True, eff_scale=1.4, launch_scale=1.5),
+    (KernelType.GESSM, "G_V3"): VariantProfile(True, True, launch_scale=2.0),
+    (KernelType.TSTRF, "C_V1"): VariantProfile(False, False, eff_scale=0.7),
+    (KernelType.TSTRF, "C_V2"): VariantProfile(True, True),
+    (KernelType.TSTRF, "G_V1"): VariantProfile(False, False),
+    (KernelType.TSTRF, "G_V2"): VariantProfile(False, True, eff_scale=1.4, launch_scale=1.5),
+    (KernelType.TSTRF, "G_V3"): VariantProfile(True, True, launch_scale=2.0),
+    (KernelType.SSSSM, "C_V1"): VariantProfile(True, True),
+    (KernelType.SSSSM, "C_V2"): VariantProfile(False, False),
+    (KernelType.SSSSM, "G_V1"): VariantProfile(False, False, eff_scale=3.0, launch_scale=2.0),
+    (KernelType.SSSSM, "G_V2"): VariantProfile(False, True, eff_scale=1.5),
+}
+
+_TTYPE_TO_KTYPE = {
+    TaskType.GETRF: KernelType.GETRF,
+    TaskType.GESSM: KernelType.GESSM,
+    TaskType.TSTRF: KernelType.TSTRF,
+    TaskType.SSSSM: KernelType.SSSSM,
+}
+
+
+def _device_for(platform: Platform, version: str) -> Device:
+    return platform.gpu if is_gpu_version(version) else platform.cpu
+
+
+def kernel_time(task: SimTask, version: str, platform: Platform) -> float:
+    """Simulated execution time of ``task`` under kernel ``version``."""
+    ktype = _TTYPE_TO_KTYPE[task.ttype]
+    profile = VARIANT_PROFILES[(ktype, version)]
+    device = _device_for(platform, version)
+    if profile.dense_work:
+        work = task.dense_flops
+        eff = device.dense_efficiency * profile.eff_scale
+    else:
+        work = float(task.flops)
+        # Sparse kernels on dense operands access memory almost as
+        # regularly as dense kernels do, so the achievable efficiency
+        # interpolates from the sparse floor towards the dense ceiling as
+        # the operands fill up (this is why the paper's sparse SSSSM stays
+        # within ~10% of dense GEMM on audikw_1-class blocks).
+        d = min(1.0, max(0.0, task.operand_density))
+        base = device.sparse_efficiency + (d**2) * 0.85 * (
+            device.dense_efficiency - device.sparse_efficiency
+        )
+        eff = base * profile.eff_scale
+    if profile.dense_bytes:
+        nbytes = 8.0 * (
+            task.rows * task.cols
+            + task.inner * task.cols
+            + task.rows * task.inner
+        )
+    else:
+        nbytes = BYTES_PER_ENTRY * (task.nnz_a + task.nnz_b + 2 * task.nnz_target)
+    t_compute = work / (device.flops_peak * eff) if work else 0.0
+    t_memory = nbytes / device.mem_bw
+    return device.launch_overhead * profile.launch_scale + max(t_compute, t_memory)
+
+
+def best_version(task: SimTask, platform: Platform) -> tuple[str, float]:
+    """The cost-minimising variant for a task on a platform.
+
+    This plays the role of the decision trees in the *simulated* setting:
+    the paper's trees are fitted to measured kernel times on the target
+    GPU, which for a model platform is equivalent to consulting the model
+    directly.  The Fig. 14 ablation compares this against a fixed
+    baseline version.
+    """
+    ktype = _TTYPE_TO_KTYPE[task.ttype]
+    best_v, best_t = "", np.inf
+    for version in KERNEL_REGISTRY[ktype]:
+        t = kernel_time(task, version, platform)
+        if t < best_t:
+            best_v, best_t = version, t
+    return best_v, best_t
+
+
+def extract_sim_tasks(f: BlockMatrix, dag: TaskDAG) -> list[SimTask]:
+    """Build the device-independent task records from the blocked matrix.
+
+    Uses only patterns — callable before (or without) any numeric work,
+    which is how the scalability benches sweep process counts cheaply.
+    """
+    out: list[SimTask] = []
+    for t in dag.tasks:
+        target = f.block(t.bi, t.bj)
+        assert target is not None
+        rows_n, cols_n = target.shape
+        if t.ttype == TaskType.GETRF:
+            nnz_a, nnz_b = target.nnz, 0
+            inner = rows_n
+            dense = (2.0 / 3.0) * rows_n**3
+        elif t.ttype == TaskType.GESSM:
+            diag = f.block(t.k, t.k)
+            nnz_a, nnz_b = diag.nnz, target.nnz
+            inner = diag.ncols
+            dense = float(inner) ** 2 * cols_n
+        elif t.ttype == TaskType.TSTRF:
+            diag = f.block(t.k, t.k)
+            nnz_a, nnz_b = diag.nnz, target.nnz
+            inner = diag.ncols
+            dense = float(inner) ** 2 * rows_n
+        else:
+            a_blk = f.block(t.bi, t.k)
+            b_blk = f.block(t.k, t.bj)
+            nnz_a, nnz_b = a_blk.nnz, b_blk.nnz
+            inner = a_blk.ncols
+            dense = 2.0 * rows_n * cols_n * inner
+        if t.ttype == TaskType.GETRF:
+            op_density = target.density
+        elif t.ttype in (TaskType.GESSM, TaskType.TSTRF):
+            op_density = target.density
+        else:
+            op_density = max(
+                nnz_a / (rows_n * inner), nnz_b / (inner * cols_n)
+            )
+        out.append(
+            SimTask(
+                tid=t.tid,
+                ttype=t.ttype,
+                k=t.k,
+                bi=t.bi,
+                bj=t.bj,
+                flops=t.flops,
+                dense_flops=dense,
+                nnz_a=int(nnz_a),
+                nnz_b=int(nnz_b),
+                nnz_target=target.nnz,
+                rows=rows_n,
+                cols=cols_n,
+                inner=int(inner),
+                out_bytes=BYTES_PER_ENTRY * target.nnz,
+                operand_density=float(op_density),
+            )
+        )
+    return out
+
+
+def simulated_trees(platform: Platform, sim_tasks: list[SimTask]):
+    """Fit Fig.-8-style decision trees to the platform's *modelled* kernel
+    times — the exact construction the paper performs with measured GPU
+    times, run against the cost model instead.
+
+    Returns ``{KernelType: DecisionTree}`` suitable for a
+    :class:`~repro.kernels.selector.SelectorPolicy`; on the samples used
+    for fitting, tree selection approximates the per-task optimum
+    (`best_version`).
+    """
+    from ..kernels.selector import TaskFeatures, calibrate
+
+    measurements: dict[KernelType, list] = {k: [] for k in KernelType}
+    for st in sim_tasks:
+        ktype = _TTYPE_TO_KTYPE[st.ttype]
+        times = {
+            version: kernel_time(st, version, platform)
+            for version in KERNEL_REGISTRY[ktype]
+        }
+        feats = TaskFeatures(
+            nnz_a=st.nnz_a,
+            nnz_b=st.nnz_b,
+            flops=st.flops,
+            n=st.inner,
+            density=st.operand_density,
+        )
+        measurements[ktype].append((feats, times))
+    return calibrate({k: v for k, v in measurements.items() if v})

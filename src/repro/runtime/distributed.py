@@ -1,0 +1,306 @@
+"""Distributed-memory synchronisation-free executor (multiprocessing).
+
+The closest in-repo analogue of PanguLU's MPI execution: the factorisation
+runs on ``n_procs`` separate OS processes, each of which
+
+* initially holds **only the blocks it owns** under the 2D block-cyclic
+  rule (distributed memory, not shared);
+* executes the tasks targeting its blocks, picking the highest-priority
+  (earliest elimination step) ready task — the Section 4.4 discipline;
+* on completing a panel task, **sends the factored block** to exactly the
+  processes that consume it, piggybacking the dependency-counter
+  decrement on the data message (the paper's "sends the sub-matrix block
+  to the other required process", Fig. 10 step 2c);
+* decrements counters and releases tasks on receipt (Fig. 10 step 3b) —
+  no barriers, no global synchronisation of any kind.
+
+Messages travel over ``multiprocessing`` queues; block payloads are the
+raw ``(indices, data)`` arrays.  The master scatters the owned blocks,
+gathers the factored ones back, and patches them into the caller's
+:class:`~repro.core.blocking.BlockMatrix`, so the result is
+indistinguishable from a sequential factorisation (asserted by the
+tests).
+
+This executor is about protocol fidelity, not speed: Python processes
+pay pickling costs that real MPI ranks do not.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing as mp
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.blocking import BlockMatrix
+from ..core.dag import TaskDAG, TaskType
+from ..core.mapping import ProcessGrid
+from ..core.numeric import NumericOptions, run_task, task_features
+from ..kernels.base import Workspace
+from ..kernels.registry import KernelType
+from ..sparse.csc import CSCMatrix
+
+__all__ = ["DistributedStats", "factorize_distributed"]
+
+_TTYPE_TO_KTYPE = {
+    TaskType.GETRF: KernelType.GETRF,
+    TaskType.GESSM: KernelType.GESSM,
+    TaskType.TSTRF: KernelType.TSTRF,
+    TaskType.SSSSM: KernelType.SSSSM,
+}
+
+
+@dataclass
+class DistributedStats:
+    """Accounting of one distributed factorisation."""
+
+    n_procs: int
+    tasks_per_proc: list[int]
+    messages_sent: int
+    block_bytes_sent: float
+
+
+class _LocalView:
+    """A worker's partial view of the block matrix.
+
+    Quacks like :class:`BlockMatrix` for the needs of ``run_task`` /
+    ``task_features`` (``block``/``block_slot``/``blk_values``), but holds
+    only owned + received blocks; touching an absent block is a protocol
+    bug and raises immediately.
+    """
+
+    def __init__(self, nb: int, bs: int, n: int) -> None:
+        self.nb, self.bs, self.n = nb, bs, n
+        self._blocks: dict[tuple[int, int], CSCMatrix] = {}
+
+    def add(self, bi: int, bj: int, blk: CSCMatrix) -> None:
+        self._blocks[(bi, bj)] = blk
+
+    def block(self, bi: int, bj: int) -> CSCMatrix:
+        try:
+            return self._blocks[(bi, bj)]
+        except KeyError:
+            raise RuntimeError(
+                f"worker touched block ({bi},{bj}) it neither owns nor received"
+            ) from None
+
+    def block_slot(self, bi: int, bj: int) -> int:  # pragma: no cover - unused
+        return 0
+
+
+def _worker_main(
+    rank: int,
+    nb: int,
+    bs: int,
+    n: int,
+    owned: list[tuple[int, int, CSCMatrix]],
+    tasks: list[tuple[int, int, int, int, int, int]],
+    successors: list[list[int]],
+    owner_of_task: np.ndarray,
+    pivot_floor: float,
+    inboxes: list[mp.Queue],
+    result_q: mp.Queue,
+) -> None:
+    """Worker loop: compute own tasks, exchange blocks, ship results back.
+
+    ``tasks[tid] = (ttype, k, bi, bj, n_deps, flops)``.
+    """
+    from ..core.dag import Task
+    from ..kernels.selector import SelectorPolicy
+
+    view = _LocalView(nb, bs, n)
+    owned_keys: set[tuple[int, int]] = set()
+    for bi, bj, blk in owned:
+        view.add(bi, bj, blk)
+        owned_keys.add((bi, bj))
+
+    selector = SelectorPolicy.default()
+    ws = Workspace()
+    my_tasks = [t for t in range(len(tasks)) if owner_of_task[t] == rank]
+    counters = {t: tasks[t][4] for t in my_tasks}
+    ready: list[tuple[int, int, int]] = []
+    for t in my_tasks:
+        if counters[t] == 0:
+            heapq.heappush(ready, (tasks[t][1], tasks[t][0], t))
+    remaining = len(my_tasks)
+    sent_msgs = 0
+    sent_bytes = 0.0
+
+    def consumers(tid: int) -> set[int]:
+        return {
+            int(owner_of_task[s]) for s in successors[tid]
+        } - {rank}
+
+    def on_pred_done(tid: int) -> None:
+        for s in successors[tid]:
+            if int(owner_of_task[s]) == rank:
+                counters[s] -= 1
+                if counters[s] == 0:
+                    heapq.heappush(ready, (tasks[s][1], tasks[s][0], s))
+
+    import queue as queue_mod
+
+    def absorb(msg) -> None:
+        src_tid, bi, bj, indptr, indices, data = msg
+        blk = CSCMatrix(
+            (min(bs, n - bi * bs), min(bs, n - bj * bs)),
+            indptr,
+            indices,
+            data,
+            check=False,
+        )
+        view.add(bi, bj, blk)
+        on_pred_done(src_tid)
+
+    try:
+        while remaining > 0:
+            # execute everything currently runnable (priority order)
+            while ready:
+                _, _, tid = heapq.heappop(ready)
+                ttype, k, bi, bj, _, flops = tasks[tid]
+                task = Task(tid, TaskType(ttype), k, bi, bj, flops)
+                feats = task_features(view, task)
+                version = selector.select(_TTYPE_TO_KTYPE[task.ttype], feats)
+                run_task(view, task, version, ws, pivot_floor=pivot_floor)
+                remaining -= 1
+                on_pred_done(tid)
+                dests = consumers(tid)
+                if dests:
+                    target = view.block(bi, bj)
+                    payload = (
+                        tid, bi, bj,
+                        target.indptr, target.indices, target.data,
+                    )
+                    for w in dests:
+                        inboxes[w].put(payload)
+                        sent_msgs += 1
+                        sent_bytes += target.nnz * 12.0
+            if remaining <= 0:
+                break
+            # nothing runnable: block for one message, then drain extras
+            absorb(inboxes[rank].get())
+            while True:
+                try:
+                    absorb(inboxes[rank].get_nowait())
+                except queue_mod.Empty:
+                    break
+        # ship factored owned blocks home (received operand copies stay)
+        out = [
+            (bi, bj, blk.indptr, blk.indices, blk.data)
+            for (bi, bj), blk in view._blocks.items()
+            if (bi, bj) in owned_keys
+        ]
+        result_q.put(("ok", rank, len(my_tasks), sent_msgs, sent_bytes, out))
+    except Exception as exc:  # pragma: no cover - surfaced in the master
+        result_q.put(("error", rank, repr(exc)))
+
+
+def factorize_distributed(
+    f: BlockMatrix,
+    dag: TaskDAG,
+    n_procs: int = 2,
+    *,
+    options: NumericOptions | None = None,
+    timeout: float = 300.0,
+) -> DistributedStats:
+    """Factorise ``f`` in place across ``n_procs`` OS processes.
+
+    Tasks and block storage follow the pure 2D block-cyclic owner rule
+    (the load balancer is not applied here: migrating a task away from
+    its block's owner would require remote writes, which the message
+    protocol — like PanguLU's — does not do for targets).
+
+    ``timeout`` bounds the wait for each rank's result; a dead or hung
+    rank (failure injection, OOM kill, …) terminates the remaining pool
+    and raises instead of hanging the caller.
+    """
+    import queue as queue_mod
+
+    options = options or NumericOptions()
+    if n_procs < 1:
+        raise ValueError("need at least one process")
+    grid = ProcessGrid.square(n_procs)
+    owner_of_block: dict[tuple[int, int], int] = {}
+    for bj in range(f.nb):
+        rows, _ = f.blocks_in_column(bj)
+        for bi in rows:
+            owner_of_block[(int(bi), bj)] = grid.owner(int(bi), bj)
+    owner_of_task = np.asarray(
+        [owner_of_block[(t.bi, t.bj)] for t in dag.tasks], dtype=np.int64
+    )
+
+    tasks = [
+        (int(t.ttype), t.k, t.bi, t.bj, t.n_deps, t.flops) for t in dag.tasks
+    ]
+    successors = [t.successors for t in dag.tasks]
+
+    ctx = mp.get_context("fork")
+    inboxes = [ctx.Queue() for _ in range(n_procs)]
+    result_q = ctx.Queue()
+
+    owned_per_rank: list[list[tuple[int, int, CSCMatrix]]] = [
+        [] for _ in range(n_procs)
+    ]
+    for (bi, bj), rank in owner_of_block.items():
+        owned_per_rank[rank].append((bi, bj, f.block(bi, bj)))
+
+    procs = []
+    for rank in range(n_procs):
+        p = ctx.Process(
+            target=_worker_main,
+            args=(
+                rank, f.nb, f.bs, f.n, owned_per_rank[rank], tasks,
+                successors, owner_of_task, options.pivot_floor,
+                inboxes, result_q,
+            ),
+            daemon=True,
+        )
+        p.start()
+        procs.append(p)
+
+    tasks_per_proc = [0] * n_procs
+    messages = 0
+    total_bytes = 0.0
+    errors: list[str] = []
+    for _ in range(n_procs):
+        try:
+            msg = result_q.get(timeout=timeout)
+        except queue_mod.Empty:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            dead = [r for r, p in enumerate(procs) if not p.is_alive()]
+            raise RuntimeError(
+                f"distributed factorisation timed out after {timeout}s "
+                f"(ranks no longer alive: {dead}) — worker crash or deadlock"
+            ) from None
+        if msg[0] == "error":
+            # a failed rank can no longer feed its consumers, so the rest
+            # of the pool would block forever on their inboxes — tear the
+            # whole pool down immediately and surface the failure
+            errors.append(f"rank {msg[1]}: {msg[2]}")
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            break
+        _, rank, ntasks, sent, nbytes, blocks = msg
+        tasks_per_proc[rank] = ntasks
+        messages += sent
+        total_bytes += nbytes
+        for bi, bj, indptr, indices, data in blocks:
+            if owner_of_block.get((bi, bj)) != rank:
+                continue  # received operand copy, not authoritative
+            f.block(bi, bj).data[...] = data
+    for p in procs:
+        p.join(timeout=30)
+        if p.is_alive():  # pragma: no cover - stuck feeder safety net
+            p.terminate()
+    if errors:
+        raise RuntimeError("; ".join(errors))
+    return DistributedStats(
+        n_procs=n_procs,
+        tasks_per_proc=tasks_per_proc,
+        messages_sent=messages,
+        block_bytes_sent=total_bytes,
+    )

@@ -1,0 +1,474 @@
+"""Compressed Sparse Column matrix container.
+
+This is the base storage substrate of the reproduction.  PanguLU stores the
+matrix (and every sub-matrix block) in CSC form; both layers of its
+"two-layer sparse structure" are CSC (Fig. 6 of the paper).  We implement our
+own lightweight, NumPy-backed container rather than relying on
+``scipy.sparse`` so that the solver controls the invariants it depends on:
+
+* ``indptr`` is a monotone ``int64`` array of length ``ncols + 1``;
+* ``indices`` holds row indices, **sorted and unique within each column**;
+* ``data`` is ``float64`` and aligned with ``indices``.
+
+Sorted-unique columns are what make the paper's "bin-search" kernel
+addressing (``numpy.searchsorted`` into a fixed symbolic pattern) valid.
+Conversions to/from SciPy and dense NumPy arrays are provided for testing
+and for kernel variants that deliberately use a compiled fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["CSCMatrix", "coo_to_csc"]
+
+
+class CSCMatrix:
+    """A sparse matrix in Compressed Sparse Column format.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> m = CSCMatrix.from_dense(np.array([[2.0, 0.0], [1.0, 3.0]]))
+    >>> m.nnz
+    3
+    >>> m.col(0)
+    (array([0, 1]), array([2., 1.]))
+    >>> m.transpose().to_dense()
+    array([[2., 1.],
+           [0., 3.]])
+
+    Parameters
+    ----------
+    shape:
+        ``(nrows, ncols)`` of the matrix.
+    indptr:
+        Column pointer array, length ``ncols + 1``, dtype coercible to int64.
+    indices:
+        Row indices, length ``nnz``; must be sorted and unique per column
+        (validated when ``check=True``).
+    data:
+        Numeric values aligned with ``indices``.  May be ``None`` for a
+        pattern-only (symbolic) matrix, in which case a zero array is
+        allocated lazily on first access.
+    check:
+        Validate invariants on construction.  Defaults to ``True``; internal
+        hot paths pass ``False`` after constructing arrays that satisfy the
+        invariants by design.
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "_data", "_cols")
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray | None = None,
+        *,
+        check: bool = True,
+    ) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if data is None:
+            self._data = None
+        else:
+            self._data = np.ascontiguousarray(data, dtype=np.float64)
+        self._cols = None
+        if check:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # invariants & basic properties
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        nrows, ncols = self.shape
+        if nrows < 0 or ncols < 0:
+            raise ValueError(f"negative shape {self.shape}")
+        if self.indptr.shape != (ncols + 1,):
+            raise ValueError(
+                f"indptr has length {self.indptr.size}, expected {ncols + 1}"
+            )
+        if self.indptr[0] != 0:
+            raise ValueError("indptr[0] must be 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.size != nnz:
+            raise ValueError(f"indices has {self.indices.size} entries, expected {nnz}")
+        if self._data is not None and self._data.size != nnz:
+            raise ValueError(f"data has {self._data.size} entries, expected {nnz}")
+        if nnz:
+            if self.indices.min() < 0 or self.indices.max() >= nrows:
+                raise ValueError("row index out of range")
+            # sorted strictly increasing within each column
+            d = np.diff(self.indices)
+            col_starts = self.indptr[1:-1]
+            interior = np.ones(nnz - 1, dtype=bool) if nnz > 1 else np.zeros(0, bool)
+            if nnz > 1:
+                interior[col_starts[(col_starts > 0) & (col_starts < nnz)] - 1] = False
+                if np.any(d[interior] <= 0):
+                    raise ValueError("row indices must be sorted unique per column")
+
+    @property
+    def data(self) -> np.ndarray:
+        """Numeric values; allocated as zeros on first access for symbolic matrices."""
+        if self._data is None:
+            self._data = np.zeros(self.nnz, dtype=np.float64)
+        return self._data
+
+    @data.setter
+    def data(self, values: np.ndarray) -> None:
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if values.size != self.nnz:
+            raise ValueError(f"data has {values.size} entries, expected {self.nnz}")
+        self._data = values
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indptr[-1])
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def density(self) -> float:
+        """Fraction of stored entries relative to a dense matrix of this shape."""
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CSCMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"density={self.density:.4f})"
+        )
+
+    # ------------------------------------------------------------------
+    # column access
+    # ------------------------------------------------------------------
+    def col(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(row_indices, values)`` views of column ``j``."""
+        lo, hi = int(self.indptr[j]), int(self.indptr[j + 1])
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def col_slice(self, j: int) -> slice:
+        """Return the ``data``/``indices`` slice covering column ``j``."""
+        return slice(int(self.indptr[j]), int(self.indptr[j + 1]))
+
+    def col_nnz(self) -> np.ndarray:
+        """Per-column nonzero counts."""
+        return np.diff(self.indptr)
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, *, drop_tol: float = 0.0) -> "CSCMatrix":
+        """Build from a dense array, keeping entries with ``|a_ij| > drop_tol``."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("dense input must be 2-D")
+        mask = np.abs(dense) > drop_tol
+        # column-major walk so indices come out sorted per column
+        cols, rows = np.nonzero(mask.T)
+        vals = dense[rows, cols]
+        indptr = np.zeros(dense.shape[1] + 1, dtype=np.int64)
+        np.add.at(indptr, cols + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(dense.shape, indptr, rows, vals, check=False)
+
+    @classmethod
+    def from_scipy(cls, mat: sp.spmatrix | sp.sparray) -> "CSCMatrix":
+        """Build from any SciPy sparse matrix (duplicates summed, sorted)."""
+        m = sp.csc_matrix(mat)
+        m.sum_duplicates()
+        m.sort_indices()
+        return cls(m.shape, m.indptr, m.indices, m.data, check=False)
+
+    @classmethod
+    def eye(cls, n: int) -> "CSCMatrix":
+        """Identity matrix of order ``n``."""
+        indptr = np.arange(n + 1, dtype=np.int64)
+        indices = np.arange(n, dtype=np.int64)
+        return cls((n, n), indptr, indices, np.ones(n), check=False)
+
+    @classmethod
+    def empty(cls, shape: tuple[int, int]) -> "CSCMatrix":
+        """All-zero matrix of the given shape."""
+        return cls(
+            shape,
+            np.zeros(shape[1] + 1, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0),
+            check=False,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Expand to a dense ``float64`` array."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        ncols = self.shape[1]
+        cols = np.repeat(np.arange(ncols), np.diff(self.indptr))
+        out[self.indices, cols] = self.data
+        return out
+
+    def to_scipy(self) -> sp.csc_matrix:
+        """Convert to ``scipy.sparse.csc_matrix`` (shares no data)."""
+        return sp.csc_matrix(
+            (self.data.copy(), self.indices.copy(), self.indptr.copy()),
+            shape=self.shape,
+        )
+
+    def copy(self) -> "CSCMatrix":
+        """Deep copy (pattern and values)."""
+        return CSCMatrix(
+            self.shape,
+            self.indptr.copy(),
+            self.indices.copy(),
+            None if self._data is None else self._data.copy(),
+            check=False,
+        )
+
+    def pattern_copy(self) -> "CSCMatrix":
+        """Copy of the pattern with zero values."""
+        return CSCMatrix(
+            self.shape, self.indptr.copy(), self.indices.copy(), None, check=False
+        )
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+    def transpose(self) -> "CSCMatrix":
+        """Return the transpose (a CSC view of the CSR form of ``self``)."""
+        nrows, ncols = self.shape
+        nnz = self.nnz
+        t_indptr = np.zeros(nrows + 1, dtype=np.int64)
+        np.add.at(t_indptr, self.indices + 1, 1)
+        np.cumsum(t_indptr, out=t_indptr)
+        t_indices = np.empty(nnz, dtype=np.int64)
+        t_data = np.empty(nnz, dtype=np.float64)
+        fill = t_indptr[:-1].copy()
+        cols = np.repeat(np.arange(ncols, dtype=np.int64), np.diff(self.indptr))
+        # stable counting pass: entries of a row arrive in increasing column
+        # order because we walk columns left to right
+        order = np.argsort(self.indices, kind="stable")
+        rows_sorted = self.indices[order]
+        t_indices[:] = cols[order]
+        t_data[:] = self.data[order]
+        # rows_sorted groups rows contiguously; positions already correct
+        del fill, rows_sorted
+        return CSCMatrix((ncols, nrows), t_indptr, t_indices, t_data, check=False)
+
+    def permute(self, row_perm: np.ndarray | None, col_perm: np.ndarray | None) -> "CSCMatrix":
+        """Return ``A[row_perm, :][:, col_perm]`` — i.e. new[i, j] = old[row_perm[i], col_perm[j]].
+
+        Either permutation may be ``None`` for identity.  ``row_perm`` and
+        ``col_perm`` are "new-from-old" gather permutations.
+        """
+        nrows, ncols = self.shape
+        if col_perm is None:
+            col_perm = np.arange(ncols, dtype=np.int64)
+        else:
+            col_perm = np.asarray(col_perm, dtype=np.int64)
+        if row_perm is None:
+            inv_row = None
+        else:
+            row_perm = np.asarray(row_perm, dtype=np.int64)
+            inv_row = np.empty(nrows, dtype=np.int64)
+            inv_row[row_perm] = np.arange(nrows, dtype=np.int64)
+
+        counts = np.diff(self.indptr)[col_perm]
+        new_indptr = np.zeros(ncols + 1, dtype=np.int64)
+        np.cumsum(counts, out=new_indptr[1:])
+        nnz = int(new_indptr[-1])
+        new_indices = np.empty(nnz, dtype=np.int64)
+        new_data = np.empty(nnz, dtype=np.float64)
+        data = self.data
+        for newj in range(ncols):
+            oldj = int(col_perm[newj])
+            sl = self.col_slice(oldj)
+            rows = self.indices[sl]
+            vals = data[sl]
+            if inv_row is not None:
+                rows = inv_row[rows]
+                order = np.argsort(rows, kind="stable")
+                rows = rows[order]
+                vals = vals[order]
+            dst = slice(int(new_indptr[newj]), int(new_indptr[newj + 1]))
+            new_indices[dst] = rows
+            new_data[dst] = vals
+        return CSCMatrix(self.shape, new_indptr, new_indices, new_data, check=False)
+
+    def diagonal(self) -> np.ndarray:
+        """Extract the main diagonal as a dense vector."""
+        n = min(self.shape)
+        out = np.zeros(n, dtype=np.float64)
+        data = self.data
+        for j in range(n):
+            rows, _ = self.indices[self.col_slice(j)], None
+            pos = np.searchsorted(rows, j)
+            if pos < rows.size and rows[pos] == j:
+                out[j] = data[int(self.indptr[j]) + int(pos)]
+        return out
+
+    def scale(self, row_scale: np.ndarray | None, col_scale: np.ndarray | None) -> "CSCMatrix":
+        """Return ``diag(row_scale) @ A @ diag(col_scale)`` (None = ones)."""
+        out = self.copy()
+        if row_scale is not None:
+            out.data *= np.asarray(row_scale, dtype=np.float64)[out.indices]
+        if col_scale is not None:
+            cols = np.repeat(np.arange(self.ncols), np.diff(out.indptr))
+            out.data *= np.asarray(col_scale, dtype=np.float64)[cols]
+        return out
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``A @ x`` for a dense vector ``x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.ncols,):
+            raise ValueError(f"x has shape {x.shape}, expected ({self.ncols},)")
+        y = np.zeros(self.nrows, dtype=np.float64)
+        cols = np.repeat(np.arange(self.ncols), np.diff(self.indptr))
+        np.add.at(y, self.indices, self.data * x[cols])
+        return y
+
+    def norm_1(self) -> float:
+        """Matrix 1-norm (max absolute column sum)."""
+        if self.nnz == 0:
+            return 0.0
+        sums = np.add.reduceat(np.abs(self.data), self.indptr[:-1])
+        sums[np.diff(self.indptr) == 0] = 0.0
+        return float(sums.max())
+
+    def norm_inf(self) -> float:
+        """Matrix ∞-norm (max absolute row sum)."""
+        if self.nnz == 0:
+            return 0.0
+        sums = np.zeros(self.nrows)
+        np.add.at(sums, self.indices, np.abs(self.data))
+        return float(sums.max())
+
+    def matmat(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``A @ X`` for a dense ``(ncols, k)`` array ``X``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != self.ncols:
+            raise ValueError(f"X has shape {x.shape}, expected ({self.ncols}, k)")
+        y = np.zeros((self.nrows, x.shape[1]), dtype=np.float64)
+        cols = np.repeat(np.arange(self.ncols), np.diff(self.indptr))
+        np.add.at(y, self.indices, self.data[:, None] * x[cols])
+        return y
+
+    def rows_cols(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return COO ``(rows, cols)`` index arrays for the stored pattern.
+
+        Returns *views/cached arrays* — callers must not mutate them.  The
+        column expansion is cached on first use (patterns are immutable
+        after construction), which makes the dense scatter/gather of the
+        kernels O(nnz) with no repeated ``repeat``/``diff`` work.
+        """
+        return self.indices, self.cols_expanded()
+
+    def cols_expanded(self) -> np.ndarray:
+        """Column index of every stored entry (cached; do not mutate)."""
+        if self._cols is None:
+            self._cols = np.repeat(
+                np.arange(self.ncols, dtype=np.int64), np.diff(self.indptr)
+            )
+        return self._cols
+
+    def extract_submatrix(
+        self, rows: np.ndarray, cols: Iterable[int]
+    ) -> "CSCMatrix":
+        """Extract the submatrix ``A[rows, cols]`` (rows must be sorted)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(list(cols), dtype=np.int64)
+        row_pos = np.full(self.nrows, -1, dtype=np.int64)
+        row_pos[rows] = np.arange(rows.size)
+        chunks_idx: list[np.ndarray] = []
+        chunks_val: list[np.ndarray] = []
+        indptr = np.zeros(cols.size + 1, dtype=np.int64)
+        data = self.data
+        for out_j, j in enumerate(cols):
+            sl = self.col_slice(int(j))
+            rr = self.indices[sl]
+            keep = row_pos[rr] >= 0
+            chunks_idx.append(row_pos[rr[keep]])
+            chunks_val.append(data[sl][keep])
+            indptr[out_j + 1] = indptr[out_j] + chunks_idx[-1].size
+        indices = np.concatenate(chunks_idx) if chunks_idx else np.zeros(0, np.int64)
+        vals = np.concatenate(chunks_val) if chunks_val else np.zeros(0)
+        return CSCMatrix((rows.size, cols.size), indptr, indices, vals, check=False)
+
+    def __eq__(self, other: object) -> bool:
+        """Exact structural and numerical equality."""
+        if not isinstance(other, CSCMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.data, other.data)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing
+        return id(self)
+
+
+def coo_to_csc(
+    shape: tuple[int, int],
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray | None = None,
+    *,
+    sum_duplicates: bool = True,
+) -> CSCMatrix:
+    """Assemble COO triplets into a :class:`CSCMatrix`.
+
+    Duplicate ``(row, col)`` entries are summed (the Matrix Market
+    convention for assembled FEM matrices) unless ``sum_duplicates=False``,
+    in which case duplicates are an error.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if vals is None:
+        vals = np.ones(rows.size, dtype=np.float64)
+    else:
+        vals = np.asarray(vals, dtype=np.float64)
+    if not (rows.size == cols.size == vals.size):
+        raise ValueError("rows, cols, vals must have equal length")
+    nrows, ncols = shape
+    if rows.size and (rows.min() < 0 or rows.max() >= nrows):
+        raise ValueError("row index out of range")
+    if cols.size and (cols.min() < 0 or cols.max() >= ncols):
+        raise ValueError("column index out of range")
+
+    # sort by (col, row)
+    order = np.lexsort((rows, cols))
+    rows = rows[order]
+    cols = cols[order]
+    vals = vals[order]
+    if rows.size:
+        dup = np.zeros(rows.size, dtype=bool)
+        dup[1:] = (rows[1:] == rows[:-1]) & (cols[1:] == cols[:-1])
+        if dup.any():
+            if not sum_duplicates:
+                raise ValueError("duplicate entries present")
+            # segment-sum duplicates into their first occurrence
+            group = np.cumsum(~dup) - 1
+            out_vals = np.zeros(int(group[-1]) + 1, dtype=np.float64)
+            np.add.at(out_vals, group, vals)
+            keep = ~dup
+            rows, cols, vals = rows[keep], cols[keep], out_vals
+
+    indptr = np.zeros(ncols + 1, dtype=np.int64)
+    np.add.at(indptr, cols + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return CSCMatrix(shape, indptr, rows, vals, check=False)

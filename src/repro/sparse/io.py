@@ -1,0 +1,116 @@
+"""Matrix Market (``.mtx``) reader/writer.
+
+PanguLU's artifact only accepts Matrix Market files; this module provides
+the same ingestion path so real SuiteSparse matrices can be fed to the
+solver when available, while the test-suite and benchmarks default to the
+synthetic analogues in :mod:`repro.sparse.generators`.
+
+Supports the ``matrix coordinate`` format with ``real``/``integer``/
+``pattern`` fields and ``general``/``symmetric``/``skew-symmetric``
+symmetry, plus ``matrix array`` (dense column-major) for completeness.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO
+
+import numpy as np
+
+from .csc import CSCMatrix, coo_to_csc
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_SUPPORTED_FIELDS = {"real", "integer", "pattern"}
+_SUPPORTED_SYMMETRY = {"general", "symmetric", "skew-symmetric"}
+
+
+def _open(path: str | Path, mode: str) -> IO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def read_matrix_market(path: str | Path) -> CSCMatrix:
+    """Read a Matrix Market file into a :class:`CSCMatrix`.
+
+    Symmetric and skew-symmetric storage is expanded to a full general
+    matrix (diagonal entries are not duplicated; skew diagonals must be
+    absent or zero per the format specification).
+    """
+    with _open(path, "r") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError(f"{path}: not a Matrix Market file")
+        parts = header.strip().split()
+        if len(parts) < 5 or parts[1].lower() != "matrix":
+            raise ValueError(f"{path}: unsupported header {header!r}")
+        layout, field, symmetry = (
+            parts[2].lower(),
+            parts[3].lower(),
+            parts[4].lower(),
+        )
+        if field == "complex":
+            raise ValueError(f"{path}: complex matrices are not supported")
+        if field not in _SUPPORTED_FIELDS:
+            raise ValueError(f"{path}: unsupported field {field!r}")
+        if symmetry not in _SUPPORTED_SYMMETRY:
+            raise ValueError(f"{path}: unsupported symmetry {symmetry!r}")
+
+        line = fh.readline()
+        while line.startswith("%") or not line.strip():
+            line = fh.readline()
+
+        if layout == "coordinate":
+            dims = line.split()
+            nrows, ncols, nnz = int(dims[0]), int(dims[1]), int(dims[2])
+            raw = np.loadtxt(fh, dtype=np.float64, max_rows=nnz, ndmin=2)
+            if raw.shape[0] != nnz:
+                raise ValueError(
+                    f"{path}: expected {nnz} entries, found {raw.shape[0]}"
+                )
+            if nnz == 0:
+                return CSCMatrix.empty((nrows, ncols))
+            rows = raw[:, 0].astype(np.int64) - 1
+            cols = raw[:, 1].astype(np.int64) - 1
+            if field == "pattern":
+                vals = np.ones(nnz, dtype=np.float64)
+            else:
+                vals = raw[:, 2].astype(np.float64)
+            if symmetry in ("symmetric", "skew-symmetric"):
+                off = rows != cols
+                sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+                rows = np.concatenate([rows, cols[off]])
+                cols = np.concatenate([cols, raw[:, 0].astype(np.int64)[off] - 1])
+                vals = np.concatenate([vals, sign * vals[off]])
+            return coo_to_csc((nrows, ncols), rows, cols, vals)
+
+        if layout == "array":
+            dims = line.split()
+            nrows, ncols = int(dims[0]), int(dims[1])
+            if symmetry != "general":
+                raise ValueError(
+                    f"{path}: array layout only supported with general symmetry"
+                )
+            vals = np.loadtxt(fh, dtype=np.float64).reshape(-1)
+            if vals.size != nrows * ncols:
+                raise ValueError(f"{path}: dense payload size mismatch")
+            dense = vals.reshape((ncols, nrows)).T  # column-major file order
+            return CSCMatrix.from_dense(dense)
+
+        raise ValueError(f"{path}: unsupported layout {layout!r}")
+
+
+def write_matrix_market(path: str | Path, mat: CSCMatrix, *, comment: str = "") -> None:
+    """Write a :class:`CSCMatrix` in ``matrix coordinate real general`` form."""
+    rows, cols = mat.rows_cols()
+    vals = mat.data
+    with _open(path, "w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        for line in comment.splitlines():
+            fh.write(f"% {line}\n")
+        fh.write(f"{mat.nrows} {mat.ncols} {mat.nnz}\n")
+        for r, c, v in zip(rows, cols, vals):
+            fh.write(f"{r + 1} {c + 1} {v:.17g}\n")

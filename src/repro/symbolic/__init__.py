@@ -1,0 +1,17 @@
+"""Symbolic-factorisation substrate: elimination trees, symmetric-pruned
+fill (PanguLU path) and Gilbert–Peierls column-DFS fill (baseline path)."""
+
+from .etree import column_counts, elimination_tree, postorder, tree_levels
+from .fill import SymbolicResult, fill_in_values, symbolic_symmetric
+from .gp import symbolic_gilbert_peierls
+
+__all__ = [
+    "elimination_tree",
+    "postorder",
+    "tree_levels",
+    "column_counts",
+    "SymbolicResult",
+    "symbolic_symmetric",
+    "symbolic_gilbert_peierls",
+    "fill_in_values",
+]

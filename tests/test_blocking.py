@@ -1,0 +1,116 @@
+"""Tests for regular 2D blocking and the two-layer structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import block_partition, choose_block_size
+from repro.sparse import CSCMatrix, random_sparse
+from repro.symbolic import symbolic_symmetric
+
+
+class TestChooseBlockSize:
+    def test_positive(self):
+        assert choose_block_size(1000, 50_000) > 0
+
+    def test_rejects_nonpositive_order(self):
+        with pytest.raises(ValueError):
+            choose_block_size(0, 10)
+
+    def test_sparser_matrices_get_coarser_grids(self):
+        dense_bs = choose_block_size(4000, 2_000_000)
+        sparse_bs = choose_block_size(4000, 10_000)
+        assert sparse_bs >= dense_bs
+
+    def test_enough_parallelism(self):
+        # a mid-size matrix must yield a grid with many block columns
+        bs = choose_block_size(2000, 400_000)
+        assert 2000 // bs >= 16
+
+
+class TestPartition:
+    def _blocked(self, n=60, bs=16, seed=0):
+        a = random_sparse(n, 0.08, seed=seed)
+        f = symbolic_symmetric(a).filled
+        return f, block_partition(f, bs)
+
+    def test_roundtrip(self):
+        f, bm = self._blocked()
+        np.testing.assert_allclose(bm.to_csc().to_dense(), f.to_dense())
+
+    def test_block_count_and_nnz_conserved(self):
+        f, bm = self._blocked()
+        assert sum(b.nnz for b in bm.blk_values) == f.nnz
+        assert bm.num_blocks == len(bm.blk_values)
+
+    def test_block_shapes(self):
+        f, bm = self._blocked(n=50, bs=16)
+        assert bm.nb == 4
+        assert bm.block_order(0) == 16
+        assert bm.block_order(3) == 2  # 50 - 3*16
+
+    def test_block_lookup(self):
+        f, bm = self._blocked()
+        for bj in range(bm.nb):
+            rows, blocks = bm.blocks_in_column(bj)
+            for bi, blk in zip(rows, blocks):
+                assert bm.block(int(bi), bj) is blk
+        # an absent block returns None
+        dense_mask = np.zeros((bm.nb, bm.nb), dtype=bool)
+        for bj in range(bm.nb):
+            rows, _ = bm.blocks_in_column(bj)
+            dense_mask[rows, bj] = True
+        absent = np.argwhere(~dense_mask)
+        for bi, bj in absent[:3]:
+            assert bm.block(int(bi), int(bj)) is None
+
+    def test_local_patterns_sorted(self):
+        _, bm = self._blocked()
+        for blk in bm.blk_values:
+            blk._validate()
+
+    def test_supports(self):
+        _, bm = self._blocked()
+        for slot, blk in enumerate(bm.blk_values):
+            np.testing.assert_array_equal(
+                bm.col_support[slot], np.diff(blk.indptr) > 0
+            )
+            rs = np.zeros(blk.nrows, dtype=bool)
+            rs[blk.indices] = True
+            np.testing.assert_array_equal(bm.row_support[slot], rs)
+
+    def test_blocks_in_row(self):
+        f, bm = self._blocked()
+        for bi in range(bm.nb):
+            for bj, blk in bm.blocks_in_row(bi):
+                assert bm.block(bi, bj) is blk
+
+    def test_rejects_bad_inputs(self):
+        a = random_sparse(10, 0.2, seed=1)
+        with pytest.raises(ValueError, match="positive"):
+            block_partition(a, 0)
+        with pytest.raises(ValueError, match="square"):
+            block_partition(CSCMatrix.empty((3, 4)), 2)
+
+    def test_nnz_stats(self):
+        _, bm = self._blocked()
+        stats = bm.nnz_stats()
+        assert stats["num_blocks"] == bm.num_blocks
+        assert stats["nnz_total"] == sum(b.nnz for b in bm.blk_values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(5, 40),
+    st.integers(2, 20),
+    st.floats(0.05, 0.3),
+    st.integers(0, 10_000),
+)
+def test_partition_roundtrip_property(n, bs, density, seed):
+    a = random_sparse(n, density, seed=seed)
+    bm = block_partition(a, bs)
+    np.testing.assert_allclose(bm.to_csc().to_dense(), a.to_dense())
+    assert bm.nb == -(-n // bs)

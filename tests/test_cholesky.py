@@ -1,0 +1,162 @@
+"""Tests for the SPD block Cholesky extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PanguLU
+from repro.cholesky import (
+    CholeskyOptions,
+    NotPositiveDefiniteError,
+    PanguLLt,
+    potrf,
+    potrf_flops,
+    syrk,
+    syrk_flops,
+    trsm,
+)
+from repro.kernels import Workspace
+from repro.sparse import CSCMatrix, generate, grid_laplacian_2d, random_sparse
+from repro.symbolic import symbolic_symmetric
+
+
+def spd_random(n: int, seed: int) -> CSCMatrix:
+    """A random sparse SPD matrix: symmetrised dominant random."""
+    a = random_sparse(n, 0.06, seed=seed, symmetric_pattern=True)
+    d = a.to_dense()
+    d = (d + d.T) / 2.0
+    d += np.eye(n) * (np.abs(d).sum(axis=1).max())
+    return CSCMatrix.from_dense(d)
+
+
+class TestKernels:
+    def _blocks(self, seed=0, n=60, split=30):
+        a = spd_random(n, seed)
+        f = symbolic_symmetric(a).filled
+        from repro.cholesky.solver import _lower_triangle
+
+        low = _lower_triangle(f)
+        d = low.extract_submatrix(np.arange(split), range(split))
+        r = low.extract_submatrix(np.arange(split, n), range(split))
+        c = low.extract_submatrix(np.arange(split, n), range(split, n))
+        return d, r, c
+
+    def test_potrf_matches_numpy(self):
+        d, _, _ = self._blocks()
+        ws = Workspace()
+        blk = d.copy()
+        potrf(blk, ws)
+        # reconstruct the full symmetric block from the lower storage
+        full = d.to_dense() + np.tril(d.to_dense(), -1).T
+        ref = np.linalg.cholesky(full)
+        np.testing.assert_allclose(blk.to_dense(), ref, atol=1e-9)
+
+    def test_potrf_rejects_indefinite(self):
+        blk = CSCMatrix.from_dense(np.array([[1.0, 0.0], [1.0, 1.0]]))
+        blk.data[blk.data == 1.0] = -1.0  # negative diagonal
+        with pytest.raises(NotPositiveDefiniteError):
+            potrf(blk, Workspace())
+
+    def test_trsm_matches_dense(self):
+        d, r, _ = self._blocks(seed=1)
+        ws = Workspace()
+        dfac = d.copy()
+        potrf(dfac, ws)
+        l_full = dfac.to_dense()
+        expect = np.linalg.solve(l_full, r.to_dense().T).T  # X L^T = B
+        blk = r.copy()
+        trsm(dfac, blk, ws)
+        np.testing.assert_allclose(blk.to_dense(), expect, atol=1e-8)
+
+    def test_syrk_matches_dense(self):
+        d, r, c = self._blocks(seed=2)
+        ws = Workspace()
+        dfac = d.copy()
+        potrf(dfac, ws)
+        lblk = r.copy()
+        trsm(dfac, lblk, ws)
+        target = c.copy()
+        syrk(target, lblk, lblk, ws)
+        ld = lblk.to_dense()
+        expect_full = c.to_dense() - np.tril(ld @ ld.T) + np.triu(ld @ ld.T, 1) * 0
+        # only the lower part is stored; compare there
+        mask = np.zeros(c.shape, dtype=bool)
+        rr, cc = c.rows_cols()
+        mask[rr, cc] = True
+        np.testing.assert_allclose(
+            target.to_dense()[mask],
+            (c.to_dense() - (ld @ ld.T))[mask],
+            atol=1e-8,
+        )
+
+    def test_flop_counters_positive(self):
+        d, r, _ = self._blocks(seed=3)
+        assert potrf_flops(d) > 0
+        assert syrk_flops(r, r) > 0
+
+
+class TestSolver:
+    @pytest.mark.parametrize("ordering", ["nd", "amd", "natural"])
+    def test_laplacian(self, ordering):
+        a = grid_laplacian_2d(11, 11)
+        s = PanguLLt(a, CholeskyOptions(ordering=ordering))
+        b = np.arange(1.0, 122.0)
+        x = s.solve(b)
+        assert s.residual_norm(x, b) < 1e-10
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_spd(self, seed):
+        a = spd_random(70, seed)
+        s = PanguLLt(a)
+        b = np.random.default_rng(seed).standard_normal(70)
+        x = s.solve(b)
+        assert s.residual_norm(x, b) < 1e-10
+        assert s.factor_error() < 1e-10
+
+    @pytest.mark.parametrize("name", ["audikw_1", "ldoor", "apache2", "Serena"])
+    def test_spd_paper_analogues(self, name):
+        a = generate(name, scale=0.1)
+        s = PanguLLt(a)
+        b = np.ones(a.nrows)
+        x = s.solve(b)
+        assert s.residual_norm(x, b) < 1e-9
+
+    def test_matches_lu_solution(self):
+        a = spd_random(60, 7)
+        b = np.ones(60)
+        x_chol = PanguLLt(a).solve(b)
+        x_lu = PanguLU(a).solve(b)
+        np.testing.assert_allclose(x_chol, x_lu, atol=1e-8)
+
+    def test_half_the_flops_of_lu(self):
+        a = generate("apache2", scale=0.15)
+        chol = PanguLLt(a)
+        chol.factorize()
+        lu = PanguLU(a)
+        lu.preprocess()
+        # Schur work roughly halves (plus panel savings); generous bound
+        assert chol.flops < 0.75 * lu.dag.total_flops
+
+    def test_rejects_indefinite(self):
+        a = random_sparse(30, 0.1, seed=9)  # unsymmetric, not SPD
+        d = a.to_dense()
+        d = (d + d.T) / 2 - np.eye(30) * 100  # negative definite shift
+        with pytest.raises(NotPositiveDefiniteError):
+            PanguLLt(CSCMatrix.from_dense(d)).factorize()
+
+    def test_rejects_rectangular_and_nan(self):
+        with pytest.raises(ValueError, match="square"):
+            PanguLLt(CSCMatrix.empty((2, 3)))
+        a = spd_random(10, 1)
+        a.data[0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            PanguLLt(a)
+
+    def test_explicit_block_size(self):
+        a = spd_random(50, 3)
+        s = PanguLLt(a, CholeskyOptions(block_size=8))
+        s.preprocess()
+        assert s.blocks.bs == 8
+        x = s.solve(np.ones(50))
+        assert s.residual_norm(x, np.ones(50)) < 1e-10

@@ -1,0 +1,115 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.sparse import generate, read_matrix_market, write_matrix_market
+
+
+class TestSolve:
+    def test_solve_analogue(self, capsys):
+        rc = main(["solve", "ecology1", "--scale", "0.15"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "relative residual" in out
+        assert "numeric" in out
+
+    def test_solve_mtx_file(self, tmp_path, capsys):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, generate("G3_circuit", scale=0.15))
+        rc = main(["solve", str(path), "--ordering", "amd"])
+        assert rc == 0
+        assert "residual" in capsys.readouterr().out
+
+    def test_solve_writes_solution(self, tmp_path, capsys):
+        out_path = tmp_path / "x.txt"
+        rc = main(["solve", "ecology1", "--scale", "0.12",
+                   "--output", str(out_path)])
+        assert rc == 0
+        x = np.loadtxt(out_path)
+        a = generate("ecology1", scale=0.12)
+        assert np.linalg.norm(a.matvec(x) - 1.0) < 1e-8
+
+    def test_solve_rejects_rectangular(self, tmp_path, capsys):
+        from repro.sparse import CSCMatrix
+
+        path = tmp_path / "rect.mtx"
+        d = np.ones((2, 3))
+        write_matrix_market(path, CSCMatrix.from_dense(d))
+        rc = main(["solve", str(path)])
+        assert rc == 2
+
+
+class TestInfo:
+    def test_info(self, capsys):
+        rc = main(["info", "cage12", "--scale", "0.15"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nnz" in out and "bandwidth" in out
+
+    def test_info_symbolic(self, capsys):
+        rc = main(["info", "ecology1", "--scale", "0.12", "--symbolic"])
+        assert rc == 0
+        assert "nnz(L+U)" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "gen.mtx"
+        rc = main(["generate", "apache2", str(path), "--scale", "0.12"])
+        assert rc == 0
+        a = read_matrix_market(path)
+        b = generate("apache2", scale=0.12)
+        assert a == b
+
+    def test_generate_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "bogus", "out.mtx"])
+
+
+class TestSimulate:
+    def test_simulate_table(self, capsys):
+        rc = main(["simulate", "ecology1", "--scale", "0.12",
+                   "--max-procs", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GFLOP/s" in out
+        assert "procs" in out
+
+    def test_simulate_mi50(self, capsys):
+        rc = main(["simulate", "G3_circuit", "--scale", "0.1",
+                   "--platform", "mi50", "--max-procs", "2"])
+        assert rc == 0
+
+
+class TestEstimate:
+    def test_estimate_table(self, capsys):
+        rc = main(["estimate", "ecology1", "--scale", "0.12",
+                   "--procs", "1", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pred. GFLOP/s" in out
+        assert "factor storage" in out
+
+
+class TestSolveWorkers:
+    def test_threaded_solve(self, capsys):
+        rc = main(["solve", "G3_circuit", "--scale", "0.12",
+                   "--workers", "3"])
+        assert rc == 0
+        assert "residual" in capsys.readouterr().out
+
+
+class TestSimulateTrace:
+    def test_trace_written(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main(["simulate", "ecology1", "--scale", "0.1",
+                   "--max-procs", "2", "--trace", str(out)])
+        assert rc == 0
+        import json
+
+        data = json.loads(out.read_text())
+        assert len(data["traceEvents"]) > 1

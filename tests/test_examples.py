@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs to completion at tiny scale."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py", "0.15")
+    assert "relative residual" in out
+    assert "threaded executor" in out
+
+
+def test_circuit_simulation():
+    out = _run("circuit_simulation.py", "0.12")
+    assert "newton iter" in out
+    assert "amortised" in out
+
+
+def test_distributed_scaling():
+    out = _run("distributed_scaling.py", "ecology1", "0.12")
+    assert "PanguLU A100" in out
+
+
+def test_kernel_playground():
+    out = _run("kernel_playground.py")
+    assert "GETRF" in out and "SSSSM" in out
+
+
+def test_matrix_market_solve(tmp_path):
+    from repro.sparse import generate, write_matrix_market
+
+    path = tmp_path / "m.mtx"
+    write_matrix_market(path, generate("G3_circuit", scale=0.12))
+    out = _run("matrix_market_solve.py", str(path))
+    assert "PanguLU" in out and "baseline" in out
+
+
+def test_syncfree_trace():
+    out = _run("syncfree_trace.py")
+    assert "synchronisation-free array" in out
+    assert "levelset schedule" in out
+
+
+def test_distributed_memory():
+    out = _run("distributed_memory.py", "2", "0.12")
+    assert "max |distributed − sequential|" in out
+
+
+def test_spd_cholesky():
+    out = _run("spd_cholesky.py", "0.12")
+    assert "storage ratio" in out
+    assert "solutions agree" in out

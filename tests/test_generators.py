@@ -1,0 +1,141 @@
+"""Tests for the synthetic analogues of the paper's 16 matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    cage_like,
+    circuit_like,
+    fem_3d,
+    generate,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    is_structurally_symmetric,
+    kkt_saddle_point,
+    paper_matrix_names,
+    quantum_chemistry_like,
+)
+
+
+class TestNamedGenerators:
+    @pytest.mark.parametrize("name", paper_matrix_names())
+    def test_generates_square_nonsingular_analogue(self, name):
+        a = generate(name, scale=0.12)
+        assert a.nrows == a.ncols > 0
+        assert a.nnz > a.nrows  # more than a diagonal
+        # structurally full diagonal is not required (MC64 fixes it), but
+        # every row and column must be nonempty
+        assert np.all(np.diff(a.indptr) > 0)
+        rows = np.zeros(a.nrows, dtype=bool)
+        rows[a.indices] = True
+        assert rows.all()
+
+    @pytest.mark.parametrize("name", paper_matrix_names())
+    def test_deterministic(self, name):
+        a = generate(name, scale=0.1, seed=5)
+        b = generate(name, scale=0.1, seed=5)
+        assert a == b
+
+    def test_seed_changes_values(self):
+        a = generate("ASIC_680k", scale=0.1, seed=0)
+        b = generate("ASIC_680k", scale=0.1, seed=1)
+        assert not (a == b)
+
+    def test_scale_grows_size(self):
+        small = generate("ecology1", scale=0.1)
+        big = generate("ecology1", scale=0.4)
+        assert big.nrows > small.nrows
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown matrix"):
+            generate("not_a_matrix")
+
+
+class TestStructuralRegimes:
+    """Each analogue must reproduce the regime the paper attributes to it."""
+
+    def test_laplacians_are_symmetric_low_density(self):
+        for name in ("ecology1", "G3_circuit", "apache2"):
+            a = generate(name, scale=0.2)
+            assert is_structurally_symmetric(a), name
+            assert a.density < 0.03, name
+
+    def test_quantum_chemistry_is_dense_clustered(self):
+        a = generate("Si87H76", scale=0.3)
+        # far denser than the grid matrices, with fully dense orbital clusters
+        assert a.density > 5 * generate("ecology1", scale=0.3).density
+        d = a.to_dense()
+        cluster = 12
+        assert np.count_nonzero(d[:cluster, :cluster]) == cluster * cluster
+
+    def test_cage_is_unsymmetric(self):
+        a = generate("cage12", scale=0.3)
+        assert not is_structurally_symmetric(a)
+
+    def test_circuit_has_dense_rails(self):
+        a = generate("ASIC_680k", scale=0.4)
+        deg = np.diff(a.indptr)
+        # a few columns far denser than the median — the rail structure
+        assert deg.max() > 10 * np.median(deg)
+
+    def test_fem_has_dense_node_blocks(self):
+        a = generate("audikw_1", scale=0.15)
+        # 3 dofs per node → diagonal 3×3 blocks fully dense
+        d = a.to_dense()
+        blk = d[:3, :3]
+        assert np.count_nonzero(blk) == 9
+
+    def test_kkt_has_zero_block(self):
+        a = generate("nlpkkt80", scale=0.3)
+        d = a.to_dense() != 0
+        # constraint-constraint block is diagonal-only (the -delta I)
+        nh = (2 * a.nrows) // 3
+        cc = d[nh:, nh:]
+        off = cc & ~np.eye(cc.shape[0], dtype=bool)
+        assert off.sum() == 0
+
+
+class TestPrimitives:
+    def test_grid_laplacian_2d_structure(self):
+        a = grid_laplacian_2d(4, 5)
+        assert a.nrows == 20
+        d = a.to_dense()
+        np.testing.assert_array_equal(d, d.T)
+        assert d[0, 0] == 4.0 and d[0, 1] == -1.0
+
+    def test_grid_laplacian_3d_degree(self):
+        a = grid_laplacian_3d(3, 3, 3)
+        # interior vertex has 6 neighbours + diagonal
+        deg = np.diff(a.indptr)
+        assert deg.max() == 7
+
+    def test_fem_diagonally_dominant(self):
+        a = fem_3d(3, 3, 3, dofs=2, stencil=7, seed=0)
+        d = a.to_dense()
+        diag = np.abs(np.diag(d))
+        off = np.abs(d).sum(axis=1) - diag
+        assert np.all(diag > off)
+
+    def test_fem_rejects_bad_stencil(self):
+        with pytest.raises(ValueError, match="stencil"):
+            fem_3d(2, 2, 2, stencil=9)
+
+    def test_circuit_like_size(self):
+        a = circuit_like(200, seed=0)
+        assert a.nrows == 200
+
+    def test_cage_like_banded(self):
+        a = cage_like(300, seed=0)
+        from repro.sparse import bandwidth
+
+        assert bandwidth(a) < 300 // 2  # bounded spread
+
+    def test_quantum_chem_cluster_rounding(self):
+        a = quantum_chemistry_like(100, cluster=48, seed=0)
+        assert a.nrows == 96  # rounded down to a multiple of the cluster
+
+    def test_kkt_shape(self):
+        a = kkt_saddle_point(500, seed=0)
+        assert a.nrows == a.ncols

@@ -1,0 +1,135 @@
+"""Matrix Market reader/writer tests."""
+
+from __future__ import annotations
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSCMatrix, random_sparse, read_matrix_market, write_matrix_market
+
+
+class TestRoundtrip:
+    def test_write_read(self, tmp_path):
+        a = random_sparse(30, 0.1, seed=1)
+        path = tmp_path / "a.mtx"
+        write_matrix_market(path, a, comment="roundtrip test")
+        b = read_matrix_market(path)
+        np.testing.assert_allclose(b.to_dense(), a.to_dense())
+
+    def test_gzip_roundtrip(self, tmp_path):
+        a = random_sparse(12, 0.2, seed=2)
+        path = tmp_path / "a.mtx.gz"
+        write_matrix_market(path, a)
+        b = read_matrix_market(path)
+        np.testing.assert_allclose(b.to_dense(), a.to_dense())
+
+    def test_rectangular(self, tmp_path):
+        d = np.zeros((3, 5))
+        d[0, 4] = 2.5
+        d[2, 1] = -1.0
+        a = CSCMatrix.from_dense(d)
+        path = tmp_path / "rect.mtx"
+        write_matrix_market(path, a)
+        np.testing.assert_allclose(read_matrix_market(path).to_dense(), d)
+
+
+class TestFormats:
+    def _write(self, tmp_path, text):
+        p = tmp_path / "m.mtx"
+        p.write_text(text)
+        return p
+
+    def test_symmetric_expansion(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n"
+            "1 1 2.0\n"
+            "3 1 4.0\n"
+            "3 3 1.0\n",
+        )
+        m = read_matrix_market(p)
+        expect = np.array([[2, 0, 4], [0, 0, 0], [4, 0, 1.0]])
+        np.testing.assert_allclose(m.to_dense(), expect)
+
+    def test_skew_symmetric_expansion(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 3.0\n",
+        )
+        m = read_matrix_market(p)
+        np.testing.assert_allclose(m.to_dense(), [[0, -3], [3, 0.0]])
+
+    def test_pattern_field(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n"
+            "1 2\n"
+            "2 1\n",
+        )
+        m = read_matrix_market(p)
+        np.testing.assert_allclose(m.to_dense(), [[0, 1], [1, 0.0]])
+
+    def test_array_layout(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix array real general\n"
+            "2 2\n"
+            "1.0\n2.0\n3.0\n4.0\n",
+        )
+        m = read_matrix_market(p)
+        # column-major file order
+        np.testing.assert_allclose(m.to_dense(), [[1, 3], [2, 4.0]])
+
+    def test_comments_skipped(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "% another\n"
+            "1 1 1\n"
+            "1 1 7.5\n",
+        )
+        m = read_matrix_market(p)
+        assert m.to_dense()[0, 0] == 7.5
+
+
+class TestErrors:
+    def _write(self, tmp_path, text):
+        p = tmp_path / "m.mtx"
+        p.write_text(text)
+        return p
+
+    def test_not_matrix_market(self, tmp_path):
+        p = self._write(tmp_path, "garbage\n1 1 1\n")
+        with pytest.raises(ValueError, match="not a Matrix Market"):
+            read_matrix_market(p)
+
+    def test_complex_rejected(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+        )
+        with pytest.raises(ValueError, match="complex"):
+            read_matrix_market(p)
+
+    def test_truncated_payload(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n",
+        )
+        with pytest.raises(ValueError, match="expected 3"):
+            read_matrix_market(p)
+
+    def test_hermitian_rejected(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+        )
+        with pytest.raises(ValueError, match="symmetry"):
+            read_matrix_market(p)

@@ -1,0 +1,286 @@
+"""Tests for the 17 sparse kernel variants against dense references.
+
+The block fixtures come from a real symbolic factorisation, so their
+patterns satisfy the fill-closure property the kernels assume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    GESSM_VARIANTS,
+    GETRF_VARIANTS,
+    SSSSM_VARIANTS,
+    TSTRF_VARIANTS,
+    KernelType,
+    SingularBlockError,
+    Workspace,
+    gessm_flops,
+    getrf_flops,
+    kernel_names,
+    split_lu,
+    ssssm_flops_structural,
+    tstrf_flops,
+)
+from repro.kernels.registry import get_kernel, is_gpu_version
+from repro.sparse import CSCMatrix, random_sparse
+from repro.symbolic import symbolic_symmetric
+
+
+@pytest.fixture
+def ws():
+    return Workspace()
+
+
+def _blocks(seed: int, n: int = 70, split: int = 35):
+    a = random_sparse(n, 0.07, seed=seed)
+    f = symbolic_symmetric(a).filled
+    top = np.arange(split)
+    bot = np.arange(split, n)
+    d = f.extract_submatrix(top, range(split))
+    b = f.extract_submatrix(top, range(split, n))
+    r = f.extract_submatrix(bot, range(split))
+    c = f.extract_submatrix(bot, range(split, n))
+    return d, b, r, c
+
+
+def _dense_lu(d: np.ndarray) -> np.ndarray:
+    d = d.copy()
+    for k in range(d.shape[0]):
+        d[k + 1 :, k] /= d[k, k]
+        d[k + 1 :, k + 1 :] -= np.outer(d[k + 1 :, k], d[k, k + 1 :])
+    return d
+
+
+class TestRegistry:
+    def test_seventeen_kernels(self):
+        assert len(kernel_names()) == 17
+
+    def test_counts_per_type(self):
+        counts = {}
+        for ktype, _ in kernel_names():
+            counts[ktype] = counts.get(ktype, 0) + 1
+        assert counts == {
+            KernelType.GETRF: 3,
+            KernelType.GESSM: 5,
+            KernelType.TSTRF: 5,
+            KernelType.SSSSM: 4,
+        }
+
+    def test_get_kernel_error(self):
+        with pytest.raises(KeyError, match="valid"):
+            get_kernel(KernelType.GETRF, "G_V9")
+
+    def test_gpu_classification(self):
+        assert is_gpu_version("G_V1")
+        assert not is_gpu_version("C_V2")
+
+
+class TestGETRF:
+    @pytest.mark.parametrize("version", list(GETRF_VARIANTS))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_dense(self, version, seed, ws):
+        d, _, _, _ = _blocks(seed)
+        ref = _dense_lu(d.to_dense())
+        blk = d.copy()
+        GETRF_VARIANTS[version](blk, ws)
+        np.testing.assert_allclose(blk.to_dense(), ref, atol=1e-10)
+
+    @pytest.mark.parametrize("version", list(GETRF_VARIANTS))
+    def test_zero_pivot_raises(self, version, ws):
+        dense = np.array([[0.0, 1.0], [1.0, 1.0]])
+        blk = CSCMatrix.from_dense(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        blk.data[...] = CSCMatrix.from_dense(dense + np.eye(2) * 1e-300).data * 0
+        # simplest: a block whose (0,0) value is exactly zero
+        blk = CSCMatrix(
+            (2, 2),
+            np.array([0, 2, 4]),
+            np.array([0, 1, 0, 1]),
+            np.array([0.0, 1.0, 1.0, 1.0]),
+        )
+        with pytest.raises(SingularBlockError):
+            GETRF_VARIANTS[version](blk, ws)
+
+    @pytest.mark.parametrize("version", list(GETRF_VARIANTS))
+    def test_pivot_floor_rescues(self, version, ws):
+        blk = CSCMatrix(
+            (2, 2),
+            np.array([0, 2, 4]),
+            np.array([0, 1, 0, 1]),
+            np.array([0.0, 1.0, 1.0, 1.0]),
+        )
+        GETRF_VARIANTS[version](blk, ws, pivot_floor=1e-10)
+        d = blk.to_dense()
+        assert d[0, 0] != 0.0
+
+    def test_variants_agree_exactly(self, ws):
+        d, _, _, _ = _blocks(5)
+        results = []
+        for fn in GETRF_VARIANTS.values():
+            blk = d.copy()
+            fn(blk, ws)
+            results.append(blk.to_dense())
+        for r in results[1:]:
+            np.testing.assert_allclose(r, results[0], atol=1e-12)
+
+
+class TestGESSM:
+    @pytest.mark.parametrize("version", list(GESSM_VARIANTS))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_dense(self, version, seed, ws):
+        d, b, _, _ = _blocks(seed)
+        dfac = d.copy()
+        GETRF_VARIANTS["C_V1"](dfac, ws)
+        ref_lu = dfac.to_dense()
+        l = np.tril(ref_lu, -1) + np.eye(d.ncols)
+        expect = np.linalg.solve(l, b.to_dense())
+        blk = b.copy()
+        GESSM_VARIANTS[version](dfac, blk, ws)
+        np.testing.assert_allclose(blk.to_dense(), expect, atol=1e-10)
+
+    def test_empty_rhs(self, ws):
+        d, _, _, _ = _blocks(3)
+        dfac = d.copy()
+        GETRF_VARIANTS["C_V1"](dfac, ws)
+        empty = CSCMatrix.empty((d.nrows, 4))
+        for fn in GESSM_VARIANTS.values():
+            fn(dfac, empty, ws)  # must not crash
+        assert empty.nnz == 0
+
+
+class TestTSTRF:
+    @pytest.mark.parametrize("version", list(TSTRF_VARIANTS))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_dense(self, version, seed, ws):
+        d, _, r, _ = _blocks(seed)
+        dfac = d.copy()
+        GETRF_VARIANTS["C_V1"](dfac, ws)
+        u = np.triu(dfac.to_dense())
+        expect = np.linalg.solve(u.T, r.to_dense().T).T
+        blk = r.copy()
+        TSTRF_VARIANTS[version](dfac, blk, ws)
+        np.testing.assert_allclose(blk.to_dense(), expect, atol=1e-9)
+
+    def test_empty_rhs(self, ws):
+        d, _, _, _ = _blocks(3)
+        dfac = d.copy()
+        GETRF_VARIANTS["C_V1"](dfac, ws)
+        empty = CSCMatrix.empty((4, d.ncols))
+        for fn in TSTRF_VARIANTS.values():
+            fn(dfac, empty, ws)
+        assert empty.nnz == 0
+
+
+class TestSSSSM:
+    @pytest.mark.parametrize("version", list(SSSSM_VARIANTS))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_dense(self, version, seed, ws):
+        d, b, r, c = _blocks(seed)
+        dfac = d.copy()
+        GETRF_VARIANTS["C_V1"](dfac, ws)
+        lblk = r.copy()
+        TSTRF_VARIANTS["C_V2"](dfac, lblk, ws)
+        ublk = b.copy()
+        GESSM_VARIANTS["C_V2"](dfac, ublk, ws)
+        expect = c.to_dense() - lblk.to_dense() @ ublk.to_dense()
+        blk = c.copy()
+        SSSSM_VARIANTS[version](blk, lblk, ublk, ws)
+        np.testing.assert_allclose(blk.to_dense(), expect, atol=1e-10)
+
+    @pytest.mark.parametrize("version", list(SSSSM_VARIANTS))
+    def test_empty_operands_noop(self, version, ws):
+        c = CSCMatrix.from_dense(np.ones((3, 3)))
+        a_empty = CSCMatrix.empty((3, 3))
+        b_empty = CSCMatrix.empty((3, 3))
+        before = c.to_dense().copy()
+        SSSSM_VARIANTS[version](c, a_empty, b_empty, ws)
+        np.testing.assert_array_equal(c.to_dense(), before)
+
+
+class TestSplitLU:
+    def test_split_reassembles(self, ws):
+        d, _, _, _ = _blocks(4)
+        dfac = d.copy()
+        GETRF_VARIANTS["C_V1"](dfac, ws)
+        l, u = split_lu(dfac)
+        packed = dfac.to_dense()
+        np.testing.assert_allclose(
+            l.to_dense(), np.tril(packed, -1) + np.eye(d.ncols)
+        )
+        np.testing.assert_allclose(u.to_dense(), np.triu(packed))
+
+
+def _mask(m: CSCMatrix) -> np.ndarray:
+    """Structural pattern mask (fill slots count even when their value is 0)."""
+    out = np.zeros(m.shape, dtype=bool)
+    r, c = m.rows_cols()
+    out[r, c] = True
+    return out
+
+
+class TestFlopCounters:
+    def test_getrf_flops_brute_force(self):
+        d, _, _, _ = _blocks(6, n=30, split=15)
+        dense = _mask(d)
+        n = dense.shape[0]
+        expect = 0
+        for t in range(n):
+            low = int(dense[t + 1 :, t].sum())
+            up = int(dense[t, t + 1 :].sum())
+            expect += low + 2 * low * up
+        assert getrf_flops(d) == expect
+
+    def test_gessm_flops_brute_force(self):
+        d, b, _, _ = _blocks(6, n=30, split=15)
+        dd = _mask(d)
+        db = _mask(b)
+        expect = 0
+        for t in range(dd.shape[0]):
+            low = int(dd[t + 1 :, t].sum())
+            expect += 2 * low * int(db[t, :].sum())
+        assert gessm_flops(d, b) == expect
+
+    def test_tstrf_flops_brute_force(self):
+        d, _, r, _ = _blocks(6, n=30, split=15)
+        dd = _mask(d)
+        dr = _mask(r)
+        expect = int(dr.sum())
+        for c in range(dd.shape[1]):
+            up = int(dd[:c, c].sum())
+            expect += 2 * up * int(dr[:, c].sum())
+        assert tstrf_flops(d, r) == expect
+
+    def test_ssssm_flops_brute_force(self):
+        d, b, r, _ = _blocks(6, n=30, split=15)
+        da = _mask(r)
+        db = _mask(b)
+        expect = 0
+        for t in range(da.shape[1]):
+            expect += 2 * int(da[:, t].sum()) * int(db[t, :].sum())
+        assert ssssm_flops_structural(r, b) == expect
+
+
+class TestWorkspace:
+    def test_dense_grows_and_zeroes(self):
+        ws = Workspace()
+        a = ws.dense("a", (3, 4))
+        a[...] = 7
+        b = ws.dense("a", (2, 2))
+        assert b.shape == (2, 2)
+        np.testing.assert_array_equal(b, 0)
+
+    def test_buffers_independent(self):
+        ws = Workspace()
+        a = ws.dense("a", (2, 2))
+        b = ws.dense("b", (2, 2))
+        a[...] = 1
+        np.testing.assert_array_equal(b, 0)
+
+    def test_vector(self):
+        ws = Workspace()
+        v = ws.vector(5)
+        v[...] = 3
+        v2 = ws.vector(3)
+        np.testing.assert_array_equal(v2, 0)

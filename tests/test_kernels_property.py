@@ -1,0 +1,112 @@
+"""Property-based tests: all kernel variants agree on random fill-closed
+block splits, for arbitrary matrices and split points."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    GESSM_VARIANTS,
+    GETRF_VARIANTS,
+    SSSSM_VARIANTS,
+    TSTRF_VARIANTS,
+    Workspace,
+)
+from repro.sparse import random_sparse
+from repro.symbolic import symbolic_symmetric
+
+WS = Workspace()
+
+
+@st.composite
+def closed_splits(draw):
+    """A random matrix, its symbolic fill, and a random 2×2 block split —
+    patterns closed under fill by construction."""
+    n = draw(st.integers(8, 40))
+    density = draw(st.floats(0.05, 0.25))
+    seed = draw(st.integers(0, 2**31 - 1))
+    split = draw(st.integers(2, n - 2))
+    a = random_sparse(n, density, seed=seed)
+    f = symbolic_symmetric(a).filled
+    top = np.arange(split)
+    bot = np.arange(split, n)
+    d = f.extract_submatrix(top, range(split))
+    b = f.extract_submatrix(top, range(split, n))
+    r = f.extract_submatrix(bot, range(split))
+    c = f.extract_submatrix(bot, range(split, n))
+    return d, b, r, c
+
+
+@settings(max_examples=30, deadline=None)
+@given(closed_splits())
+def test_getrf_variants_agree(blocks):
+    d, _, _, _ = blocks
+    results = []
+    for fn in GETRF_VARIANTS.values():
+        blk = d.copy()
+        fn(blk, WS)
+        results.append(blk.to_dense())
+    for r in results[1:]:
+        np.testing.assert_allclose(r, results[0], atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(closed_splits())
+def test_panel_variants_agree(blocks):
+    d, b, r, _ = blocks
+    dfac = d.copy()
+    GETRF_VARIANTS["C_V1"](dfac, WS)
+    gessm_results = []
+    for fn in GESSM_VARIANTS.values():
+        blk = b.copy()
+        fn(dfac, blk, WS)
+        gessm_results.append(blk.to_dense())
+    for g in gessm_results[1:]:
+        np.testing.assert_allclose(g, gessm_results[0], atol=1e-8)
+    tstrf_results = []
+    for fn in TSTRF_VARIANTS.values():
+        blk = r.copy()
+        fn(dfac, blk, WS)
+        tstrf_results.append(blk.to_dense())
+    for t in tstrf_results[1:]:
+        np.testing.assert_allclose(t, tstrf_results[0], atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(closed_splits())
+def test_ssssm_variants_agree(blocks):
+    d, b, r, c = blocks
+    dfac = d.copy()
+    GETRF_VARIANTS["C_V1"](dfac, WS)
+    lblk = r.copy()
+    TSTRF_VARIANTS["C_V2"](dfac, lblk, WS)
+    ublk = b.copy()
+    GESSM_VARIANTS["C_V2"](dfac, ublk, WS)
+    results = []
+    for fn in SSSSM_VARIANTS.values():
+        blk = c.copy()
+        fn(blk, lblk, ublk, WS)
+        results.append(blk.to_dense())
+    for s in results[1:]:
+        np.testing.assert_allclose(s, results[0], atol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(closed_splits())
+def test_kernels_write_only_inside_pattern(blocks):
+    """No kernel may allocate or move entries — the pattern is immutable."""
+    d, b, r, c = blocks
+    dfac = d.copy()
+    GETRF_VARIANTS["G_V2"](dfac, WS)
+    for blk_src, runs in (
+        (b, [lambda blk: GESSM_VARIANTS["G_V1"](dfac, blk, WS)]),
+        (r, [lambda blk: TSTRF_VARIANTS["G_V1"](dfac, blk, WS)]),
+    ):
+        blk = blk_src.copy()
+        before_pattern = (blk.indptr.copy(), blk.indices.copy())
+        for run in runs:
+            run(blk)
+        assert np.array_equal(blk.indptr, before_pattern[0])
+        assert np.array_equal(blk.indices, before_pattern[1])

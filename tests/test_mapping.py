@@ -1,0 +1,115 @@
+"""Tests for the 2D block-cyclic mapping and static load balancing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ProcessGrid,
+    assign_tasks,
+    balance_loads,
+    block_partition,
+    build_dag,
+    load_imbalance,
+)
+from repro.sparse import random_sparse
+from repro.symbolic import symbolic_symmetric
+
+
+def _dag(n=80, bs=10, seed=0):
+    a = random_sparse(n, 0.06, seed=seed)
+    f = symbolic_symmetric(a).filled
+    bm = block_partition(f, bs)
+    return bm, build_dag(bm)
+
+
+class TestProcessGrid:
+    def test_square_factorisation(self):
+        assert ProcessGrid.square(1) == ProcessGrid(1, 1)
+        assert ProcessGrid.square(4) == ProcessGrid(2, 2)
+        assert ProcessGrid.square(6) == ProcessGrid(2, 3)
+        assert ProcessGrid.square(7) == ProcessGrid(1, 7)
+        assert ProcessGrid.square(128) == ProcessGrid(8, 16)
+
+    def test_nprocs(self):
+        assert ProcessGrid(3, 4).nprocs == 12
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ProcessGrid.square(0)
+
+    def test_block_cyclic_owner(self):
+        g = ProcessGrid(2, 2)
+        assert g.owner(0, 0) == 0
+        assert g.owner(0, 1) == 1
+        assert g.owner(1, 0) == 2
+        assert g.owner(1, 1) == 3
+        assert g.owner(2, 2) == 0  # cycles
+
+
+class TestAssignment:
+    def test_assignment_matches_owner(self):
+        _, dag = _dag()
+        grid = ProcessGrid.square(4)
+        asg = assign_tasks(dag, grid)
+        for t, p in zip(dag.tasks, asg):
+            assert p == grid.owner(t.bi, t.bj)
+
+    def test_assignment_in_range(self):
+        _, dag = _dag()
+        asg = assign_tasks(dag, ProcessGrid.square(6))
+        assert asg.min() >= 0 and asg.max() < 6
+
+
+class TestBalancing:
+    def test_no_change_single_proc(self):
+        _, dag = _dag()
+        grid = ProcessGrid.square(1)
+        asg = balance_loads(dag, grid)
+        assert np.all(asg == 0)
+
+    def test_imbalance_not_worse(self):
+        _, dag = _dag(seed=3)
+        grid = ProcessGrid.square(4)
+        before = assign_tasks(dag, grid)
+        after = balance_loads(dag, grid, before)
+        imb_before = load_imbalance(dag, before, 4)
+        imb_after = load_imbalance(dag, after, 4)
+        assert imb_after <= imb_before + 1e-9
+
+    def test_swaps_preserve_task_partition(self):
+        _, dag = _dag(seed=5)
+        grid = ProcessGrid.square(4)
+        after = balance_loads(dag, grid)
+        assert after.shape == (len(dag.tasks),)
+        assert after.min() >= 0 and after.max() < 4
+
+    def test_input_not_mutated(self):
+        _, dag = _dag(seed=7)
+        grid = ProcessGrid.square(4)
+        before = assign_tasks(dag, grid)
+        snapshot = before.copy()
+        balance_loads(dag, grid, before)
+        np.testing.assert_array_equal(before, snapshot)
+
+    def test_multiple_rounds_allowed(self):
+        _, dag = _dag(seed=9)
+        grid = ProcessGrid.square(4)
+        a1 = balance_loads(dag, grid, max_rounds=1)
+        a3 = balance_loads(dag, grid, max_rounds=3)
+        assert load_imbalance(dag, a3, 4) <= load_imbalance(dag, a1, 4) + 1e-9
+
+
+class TestImbalanceMetric:
+    def test_perfect_balance(self):
+        _, dag = _dag()
+        n = len(dag.tasks)
+        # everything on one proc of one → 1.0
+        assert load_imbalance(dag, np.zeros(n, dtype=np.int64), 1) == 1.0
+
+    def test_all_on_one_of_two(self):
+        _, dag = _dag()
+        n = len(dag.tasks)
+        imb = load_imbalance(dag, np.zeros(n, dtype=np.int64), 2)
+        assert imb == pytest.approx(2.0)

@@ -1,0 +1,118 @@
+"""Tests for MC64: maximum transversal and maximum-product matching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.sparse.csgraph import min_weight_full_bipartite_matching
+
+from repro.ordering import StructurallySingularError, maximum_transversal, mc64
+from repro.sparse import CSCMatrix, generate, random_sparse
+
+
+class TestTransversal:
+    def test_full_matching_on_dominant(self):
+        a = random_sparse(50, 0.06, seed=1)
+        t = maximum_transversal(a)
+        assert np.array_equal(np.sort(t), np.arange(50))
+        # permuted diagonal is structurally nonzero
+        d = a.permute(t, None).to_dense()
+        assert np.all(np.diag(d != 0))
+
+    def test_partial_matching_on_singular(self):
+        d = np.zeros((3, 3))
+        d[0, 0] = d[1, 0] = d[2, 0] = 1.0  # only column 0 has entries
+        t = maximum_transversal(CSCMatrix.from_dense(d))
+        assert (t >= 0).sum() == 1
+
+    def test_permutation_matrix(self):
+        # identity-reversed: anti-diagonal
+        d = np.fliplr(np.eye(5))
+        t = maximum_transversal(CSCMatrix.from_dense(d))
+        np.testing.assert_array_equal(t, [4, 3, 2, 1, 0])
+
+    def test_needs_augmenting_paths(self):
+        # cheap assignment alone fails here; augmentation must rewire
+        d = np.array([[1.0, 1.0], [1.0, 0.0]])
+        t = maximum_transversal(CSCMatrix.from_dense(d))
+        assert np.array_equal(np.sort(t), [0, 1])
+        assert t[1] == 0  # column 1 only has row 0
+
+
+class TestMC64:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_optimal_log_product(self, seed):
+        a = random_sparse(60, 0.06, seed=seed)
+        r = mc64(a)
+        b = a.to_scipy().tocsr()
+        b.data = -np.log(np.abs(b.data))
+        rr, cc = min_weight_full_bipartite_matching(b)
+        opt = -b[rr, cc].sum()
+        assert abs(r.log_product - opt) < 1e-8
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_scaling_bounds(self, seed):
+        a = random_sparse(60, 0.06, seed=seed + 100)
+        r = mc64(a)
+        s = a.scale(r.row_scale, r.col_scale)
+        assert np.abs(s.data).max() <= 1 + 1e-9
+        diag = np.abs(s.permute(r.row_perm, None).diagonal())
+        np.testing.assert_allclose(diag, 1.0, atol=1e-9)
+
+    def test_scales_positive(self):
+        a = random_sparse(30, 0.1, seed=3)
+        r = mc64(a)
+        assert np.all(r.row_scale > 0) and np.all(r.col_scale > 0)
+
+    def test_row_perm_is_permutation(self):
+        a = random_sparse(40, 0.08, seed=4)
+        r = mc64(a)
+        assert np.array_equal(np.sort(r.row_perm), np.arange(40))
+
+    def test_singular_raises(self):
+        d = np.zeros((3, 3))
+        d[0, 0] = d[1, 1] = 1.0
+        d[2, 0] = 1.0  # row 2 shares column support with row 0 only
+        d[0, 2] = 0.0  # column 2 empty
+        with pytest.raises(StructurallySingularError):
+            mc64(CSCMatrix.from_dense(d))
+
+    def test_no_perfect_matching_raises(self):
+        # columns 0 and 1 both only reach row 0
+        d = np.array([[1.0, 1.0, 0], [0, 0, 1.0], [0, 0, 1.0]])
+        with pytest.raises(StructurallySingularError):
+            mc64(CSCMatrix.from_dense(d))
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            mc64(CSCMatrix.empty((2, 3)))
+
+    def test_empty(self):
+        r = mc64(CSCMatrix.empty((0, 0)))
+        assert r.row_perm.size == 0
+
+    def test_already_diagonal_dominant_identityish(self):
+        # strongly dominant diagonal: MC64 should keep the diagonal matching
+        d = np.diag([10.0, 20.0, 30.0]) + 0.1
+        r = mc64(CSCMatrix.from_dense(d))
+        np.testing.assert_array_equal(r.row_perm, [0, 1, 2])
+
+    def test_on_paper_analogue(self):
+        a = generate("cage12", scale=0.15)
+        r = mc64(a)
+        s = a.scale(r.row_scale, r.col_scale).permute(r.row_perm, None)
+        assert np.abs(s.diagonal()).min() > 0.99
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 25), st.floats(0.05, 0.4), st.integers(0, 10_000))
+def test_mc64_invariants_property(n, density, seed):
+    a = random_sparse(n, density, seed=seed)
+    r = mc64(a)
+    assert np.array_equal(np.sort(r.row_perm), np.arange(n))
+    s = a.scale(r.row_scale, r.col_scale)
+    assert np.abs(s.data).max() <= 1 + 1e-9
+    diag = np.abs(s.permute(r.row_perm, None).diagonal())
+    np.testing.assert_allclose(diag, 1.0, atol=1e-9)

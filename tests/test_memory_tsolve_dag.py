@@ -1,0 +1,125 @@
+"""Tests for memory accounting and the triangular-solve task DAG."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PanguLU, SolverOptions
+from repro.core import (
+    ProcessGrid,
+    TSolveTaskType,
+    build_tsolve_dag,
+    memory_report,
+    per_process_bytes,
+)
+from repro.runtime import A100_PLATFORM, simulate_tsolve
+from repro.sparse import generate, random_sparse
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    a = random_sparse(120, 0.05, seed=4)
+    s = PanguLU(a, SolverOptions(block_size=16))
+    s.preprocess()
+    return s
+
+
+class TestMemoryReport:
+    def test_totals_consistent(self, prepared):
+        rep = memory_report(prepared.blocks)
+        assert rep.total_bytes == (
+            rep.values_bytes + rep.layer2_index_bytes + rep.layer1_index_bytes
+        )
+        nnz = sum(b.nnz for b in prepared.blocks.blk_values)
+        assert rep.values_bytes == nnz * 8
+
+    def test_layer1_overhead_insignificant(self, prepared):
+        """The paper's claim: the block-level arrays add no significant
+        overhead.  Pin it below 5% of total storage."""
+        rep = memory_report(prepared.blocks)
+        assert rep.layer1_overhead < 0.05
+
+    def test_dense_ratio_above_one_for_sparse(self):
+        # a genuinely sparse factor (grid Laplacian): storing blocks dense
+        # would cost several times the two-layer sparse storage
+        a = generate("ecology1", scale=0.25)
+        s = PanguLU(a)
+        s.preprocess()
+        rep = memory_report(s.blocks)
+        assert rep.dense_ratio > 1.5
+
+    def test_per_process_bytes_sum(self, prepared):
+        grid = ProcessGrid.square(4)
+        pp = per_process_bytes(prepared.blocks, grid)
+        total = sum(
+            b.nnz * 16 + (b.ncols + 1) * 8 for b in prepared.blocks.blk_values
+        )
+        assert pp.sum() == total
+        assert pp.shape == (4,)
+
+
+class TestTSolveDAG:
+    def test_task_counts(self, prepared):
+        f = prepared.blocks
+        grid = ProcessGrid.square(4)
+        dag = build_tsolve_dag(f, grid.owner)
+        kinds = dag.kinds
+        n_diag = (kinds == int(TSolveTaskType.DIAG_F)).sum()
+        assert n_diag == f.nb
+        assert (kinds == int(TSolveTaskType.DIAG_B)).sum() == f.nb
+        # one forward update per strictly-lower stored block
+        lower_blocks = sum(
+            1
+            for bj in range(f.nb)
+            for bi in f.blocks_in_column(bj)[0]
+            if int(bi) > bj
+        )
+        assert (kinds == int(TSolveTaskType.UPD_F)).sum() == lower_blocks
+
+    def test_acyclic_and_executable(self, prepared):
+        f = prepared.blocks
+        dag = build_tsolve_dag(f, ProcessGrid.square(2).owner)
+        indeg = dag.n_deps.copy()
+        stack = [t for t in range(len(dag)) if indeg[t] == 0]
+        seen = 0
+        while stack:
+            t = stack.pop()
+            seen += 1
+            for s in dag.successors[t]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    stack.append(s)
+        assert seen == len(dag)
+
+    def test_forward_before_backward(self, prepared):
+        """DIAG_B(k) transitively depends on DIAG_F(k)."""
+        f = prepared.blocks
+        dag = build_tsolve_dag(f, ProcessGrid.square(1).owner)
+        # direct edge inserted by construction:
+        for k in range(f.nb):
+            fwd = int(np.flatnonzero(
+                (dag.kinds == int(TSolveTaskType.DIAG_F)) & (dag.k_of == k)
+            )[0])
+            bwd = int(np.flatnonzero(
+                (dag.kinds == int(TSolveTaskType.DIAG_B)) & (dag.k_of == k)
+            )[0])
+            assert bwd in dag.successors[fwd]
+
+    def test_simulation_completes(self, prepared):
+        for p in (1, 4, 16):
+            res = simulate_tsolve(prepared.blocks, A100_PLATFORM, p)
+            assert res.makespan > 0
+
+    def test_single_proc_no_sync(self, prepared):
+        res = simulate_tsolve(prepared.blocks, A100_PLATFORM, 1)
+        assert res.mean_sync == pytest.approx(0.0)
+
+
+class TestFacadeThreading:
+    def test_n_workers_option(self):
+        a = generate("G3_circuit", scale=0.12)
+        b = np.ones(a.nrows)
+        x1 = PanguLU(a, SolverOptions(n_workers=1)).solve(b)
+        x4 = PanguLU(a, SolverOptions(n_workers=4)).solve(b)
+        np.testing.assert_allclose(x1, x4, atol=1e-9)

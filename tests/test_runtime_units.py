@@ -1,0 +1,107 @@
+"""Unit tests for runtime helpers not covered by the larger suites."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline import SuperLUBaseline, sn_etree_levels
+from repro.kernels.base import solve_levels
+from repro.runtime import A100_PLATFORM, MI50_PLATFORM, CPU_PLATFORM
+from repro.sparse import random_sparse
+
+
+class TestPlatforms:
+    def test_message_time_components(self):
+        p = A100_PLATFORM
+        lat_only = p.message_time(0, 1, 0.0)
+        assert lat_only == pytest.approx(p.intra_latency)
+        big = p.message_time(0, 1, 1e9)
+        assert big == pytest.approx(p.intra_latency + 1e9 / p.intra_bandwidth)
+
+    def test_node_boundary(self):
+        p = A100_PLATFORM  # 4 procs per node
+        assert p.message_time(3, 4, 1e6) > p.message_time(0, 3, 1e6)
+        assert p.message_time(4, 7, 1e6) == p.message_time(0, 3, 1e6)
+
+    def test_platform_orderings(self):
+        assert A100_PLATFORM.gpu.flops_peak > MI50_PLATFORM.gpu.flops_peak
+        assert CPU_PLATFORM.gpu.flops_peak == CPU_PLATFORM.cpu.flops_peak
+
+
+class TestSolveLevels:
+    def test_diagonal_only_single_level(self):
+        indptr = np.array([0, 1, 2, 3])
+        cols = np.array([0, 1, 2])
+        levels = solve_levels(indptr, cols, 3)
+        assert len(levels) == 1
+        np.testing.assert_array_equal(levels[0], [0, 1, 2])
+
+    def test_chain_gives_one_row_per_level(self):
+        # row r depends on r-1 (bidiagonal)
+        indptr = np.array([0, 1, 3, 5])
+        cols = np.array([0, 0, 1, 1, 2])
+        levels = solve_levels(indptr, cols, 3)
+        assert [list(l) for l in levels] == [[0], [1], [2]]
+
+    def test_empty(self):
+        assert solve_levels(np.array([0]), np.array([], dtype=int), 0) == []
+
+
+class TestSupernodeEtree:
+    def test_levels_consistent_with_parents(self):
+        a = random_sparse(60, 0.07, seed=2)
+        bl = SuperLUBaseline(a)
+        bl.preprocess()
+        levels = sn_etree_levels(bl.partition)
+        assert levels.shape == (bl.partition.n_supernodes,)
+        assert levels.min() >= 0
+        # a parent's level strictly exceeds each child's
+        col_to_sn = bl.partition.supernode_of_column()
+        for k in range(bl.partition.n_supernodes):
+            rows = bl.partition.panel_rows[k]
+            if rows.size:
+                parent = int(col_to_sn[int(rows[0])])
+                assert levels[parent] > levels[k]
+
+
+class TestChromeTrace:
+    def test_events_well_formed(self, tmp_path):
+        import json
+
+        from repro.runtime import SimSpec, simulate, write_chrome_trace
+
+        spec = SimSpec(
+            durations=np.asarray([1e-3, 2e-3]),
+            owner=np.asarray([0, 1]),
+            out_bytes=np.zeros(2),
+            n_deps=np.asarray([0, 1]),
+            successors=[[1], []],
+            priority=np.asarray([0.0, 1.0]),
+            nprocs=2,
+        )
+        res = simulate(spec, CPU_PLATFORM)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(
+            path, res, spec.owner,
+            names=["a", "b"], categories=["GETRF", "SSSSM"],
+        )
+        data = json.loads(path.read_text())
+        events = data["traceEvents"]
+        assert len(events) == 3  # 2 tasks + makespan marker
+        first = events[0]
+        assert first["name"] == "a" and first["ph"] == "X"
+        assert first["dur"] > 0
+        # the dependent task starts after its predecessor ends
+        assert events[1]["ts"] >= events[0]["ts"] + events[0]["dur"] - 1e-6
+
+
+class TestNorms:
+    def test_norm_1_and_inf(self):
+        from repro.sparse import CSCMatrix
+
+        d = np.array([[1.0, -2.0], [3.0, 0.0]])
+        m = CSCMatrix.from_dense(d)
+        assert m.norm_1() == 4.0
+        assert m.norm_inf() == 3.0
+        assert CSCMatrix.empty((2, 2)).norm_1() == 0.0

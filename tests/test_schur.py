@@ -1,0 +1,81 @@
+"""Tests for partial factorisation and Schur-complement extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    block_partition,
+    build_dag,
+    extract_trailing,
+    factorize,
+    partial_factorize,
+)
+from repro.sparse import random_sparse
+from repro.symbolic import symbolic_symmetric
+
+
+def _prepared(n=60, bs=12, seed=0):
+    a = random_sparse(n, 0.08, seed=seed)
+    f = symbolic_symmetric(a).filled
+    bm = block_partition(f, bs)
+    return a, bm, build_dag(bm)
+
+
+class TestPartialFactorize:
+    @pytest.mark.parametrize("kb", [1, 2, 3])
+    def test_schur_matches_dense(self, kb):
+        a, bm, dag = _prepared()
+        partial_factorize(bm, dag, kb)
+        s = extract_trailing(bm, kb).to_dense()
+        d = a.to_dense()
+        cut = kb * bm.bs
+        a11, a12 = d[:cut, :cut], d[:cut, cut:]
+        a21, a22 = d[cut:, :cut], d[cut:, cut:]
+        expect = a22 - a21 @ np.linalg.solve(a11, a12)
+        np.testing.assert_allclose(s, expect, atol=1e-8)
+
+    def test_kb_zero_is_noop(self):
+        a, bm, dag = _prepared(seed=1)
+        stats = partial_factorize(bm, dag, 0)
+        assert stats.tasks_executed == 0
+        np.testing.assert_allclose(
+            extract_trailing(bm, 0).to_dense(), a.to_dense() * 0 + bm.to_csc().to_dense()
+        )
+
+    def test_kb_full_equals_factorize(self):
+        a, bm1, dag1 = _prepared(seed=2)
+        _, bm2, dag2 = _prepared(seed=2)
+        partial_factorize(bm1, dag1, bm1.nb)
+        factorize(bm2, dag2)
+        np.testing.assert_allclose(
+            bm1.to_csc().to_dense(), bm2.to_csc().to_dense(), atol=1e-12
+        )
+
+    def test_leading_blocks_factored(self):
+        a, bm, dag = _prepared(seed=3)
+        kb = 2
+        partial_factorize(bm, dag, kb)
+        # the leading diagonal blocks hold valid LU factors: their packed
+        # product reproduces the fully-updated leading blocks
+        d = a.to_dense()
+        cut = kb * bm.bs
+        ref = d[:cut, :cut].copy()
+        for t in range(cut):
+            ref[t + 1 :, t] /= ref[t, t]
+            ref[t + 1 :, t + 1 :] -= np.outer(ref[t + 1 :, t], ref[t, t + 1 :])
+        got = bm.to_csc().to_dense()[:cut, :cut]
+        np.testing.assert_allclose(got, ref, atol=1e-8)
+
+    def test_bad_kb_rejected(self):
+        _, bm, dag = _prepared(seed=4)
+        with pytest.raises(ValueError):
+            partial_factorize(bm, dag, bm.nb + 1)
+        with pytest.raises(ValueError):
+            extract_trailing(bm, -1)
+
+    def test_counts_pivot_replacements(self):
+        _, bm, dag = _prepared(seed=5)
+        stats = partial_factorize(bm, dag, 2)
+        assert stats.pivots_replaced == 0

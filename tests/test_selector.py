@@ -1,0 +1,122 @@
+"""Tests for the decision-tree kernel selector and its calibrator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels import (
+    KERNEL_REGISTRY,
+    DecisionTree,
+    KernelType,
+    SelectorPolicy,
+    Split,
+    TaskFeatures,
+    calibrate,
+    default_trees,
+)
+
+
+class TestDecisionTree:
+    def test_split_routing(self):
+        tree = DecisionTree(Split("nnz_a", 100.0, "C_V1", "G_V1"))
+        assert tree.select(TaskFeatures(nnz_a=50)) == "C_V1"
+        assert tree.select(TaskFeatures(nnz_a=100)) == "G_V1"
+        assert tree.select(TaskFeatures(nnz_a=500)) == "G_V1"
+
+    def test_nested(self):
+        tree = DecisionTree(
+            Split("nnz_a", 100.0, Split("density", 0.5, "A", "B"), "C")
+        )
+        assert tree.select(TaskFeatures(nnz_a=10, density=0.1)) == "A"
+        assert tree.select(TaskFeatures(nnz_a=10, density=0.9)) == "B"
+        assert tree.select(TaskFeatures(nnz_a=200, density=0.9)) == "C"
+
+    def test_leaves(self):
+        tree = DecisionTree(Split("flops", 1.0, "X", Split("flops", 2.0, "Y", "Z")))
+        assert sorted(tree.leaves()) == ["X", "Y", "Z"]
+
+    def test_unknown_feature(self):
+        tree = DecisionTree(Split("bogus", 1.0, "A", "B"))
+        with pytest.raises(KeyError):
+            tree.select(TaskFeatures(nnz_a=1))
+
+
+class TestDefaults:
+    def test_all_types_covered(self):
+        trees = default_trees()
+        assert set(trees) == set(KernelType)
+
+    def test_leaves_are_registered_versions(self):
+        trees = default_trees()
+        for ktype, tree in trees.items():
+            for leaf in tree.leaves():
+                assert leaf in KERNEL_REGISTRY[ktype], (ktype, leaf)
+
+    def test_small_tasks_avoid_compiled_kernels(self):
+        pol = SelectorPolicy.default()
+        # tiny product on a large sparse block: the cheap bin-search path
+        v = pol.select(
+            KernelType.SSSSM,
+            TaskFeatures(nnz_a=5, nnz_b=5, flops=10, n=256, density=0.01),
+        )
+        assert v == "C_V2"
+        # tiny product on a small block: the dense GEMM is essentially free
+        v = pol.select(
+            KernelType.SSSSM,
+            TaskFeatures(nnz_a=5, nnz_b=5, flops=10, n=32, density=0.05),
+        )
+        assert v == "C_V1"
+
+
+class TestFixedPolicy:
+    def test_fixed_always_same(self):
+        pol = SelectorPolicy.fixed()
+        for feats in (
+            TaskFeatures(nnz_a=1, flops=1),
+            TaskFeatures(nnz_a=10**6, flops=10**9, density=1.0),
+        ):
+            assert pol.select(KernelType.GETRF, feats) == "G_V1"
+            assert pol.select(KernelType.SSSSM, feats) == "C_V2"
+
+    def test_fixed_custom(self):
+        pol = SelectorPolicy.fixed({k: "C_V1" for k in KernelType})
+        assert pol.select(KernelType.GETRF, TaskFeatures(nnz_a=1)) == "C_V1"
+
+
+class TestCalibrate:
+    def _samples(self):
+        # variant "SLOW" is best below 100 nnz, "FAST" above
+        samples = []
+        for nnz in [10, 20, 50, 80, 150, 300, 700, 1000]:
+            times = {
+                "SLOW": 1.0 + nnz / 100.0,
+                "FAST": 3.0 + nnz / 1000.0,
+            }
+            samples.append((TaskFeatures(nnz_a=nnz), times))
+        return samples
+
+    def test_learns_crossover(self):
+        trees = calibrate({KernelType.GETRF: self._samples()})
+        tree = trees[KernelType.GETRF]
+        assert tree.select(TaskFeatures(nnz_a=10)) == "SLOW"
+        assert tree.select(TaskFeatures(nnz_a=1000)) == "FAST"
+
+    def test_single_variant_collapses_to_leaf(self):
+        samples = [
+            (TaskFeatures(nnz_a=n), {"ONLY": float(n)}) for n in range(1, 9)
+        ]
+        trees = calibrate({KernelType.GESSM: samples})
+        assert trees[KernelType.GESSM].root == "ONLY"
+
+    def test_empty_samples_raise(self):
+        with pytest.raises(ValueError, match="no samples"):
+            calibrate({KernelType.TSTRF: []})
+
+    def test_calibrated_total_not_worse_than_any_fixed(self):
+        samples = self._samples()
+        trees = calibrate({KernelType.GETRF: samples})
+        tree = trees[KernelType.GETRF]
+        total_tree = sum(t[tree.select(f)] for f, t in samples)
+        for v in ("SLOW", "FAST"):
+            total_fixed = sum(t[v] for _, t in samples)
+            assert total_tree <= total_fixed + 1e-12

@@ -1,0 +1,171 @@
+"""Tests for the discrete-event distributed simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import CPU_PLATFORM, A100_PLATFORM, SimSpec, simulate
+
+
+def _chain_spec(durations, nprocs=1, owners=None, levels=None):
+    """A linear chain t0 → t1 → … with given durations."""
+    n = len(durations)
+    succ = [[i + 1] if i + 1 < n else [] for i in range(n)]
+    deps = np.asarray([0] + [1] * (n - 1), dtype=np.int64)
+    return SimSpec(
+        durations=np.asarray(durations, dtype=np.float64),
+        owner=np.asarray(owners if owners is not None else [0] * n, dtype=np.int64),
+        out_bytes=np.zeros(n),
+        n_deps=deps,
+        successors=succ,
+        priority=np.arange(n, dtype=np.float64),
+        nprocs=nprocs,
+        levels=np.asarray(levels, dtype=np.int64) if levels is not None else None,
+    )
+
+
+def _fanout_spec(nprocs, k, dur=1.0):
+    """Root task fanning out to k independent children on round-robin procs."""
+    n = k + 1
+    succ = [list(range(1, n))] + [[] for _ in range(k)]
+    deps = np.asarray([0] + [1] * k, dtype=np.int64)
+    owners = np.asarray([0] + [i % nprocs for i in range(k)], dtype=np.int64)
+    return SimSpec(
+        durations=np.full(n, dur),
+        owner=owners,
+        out_bytes=np.zeros(n),
+        n_deps=deps,
+        successors=succ,
+        priority=np.arange(n, dtype=np.float64),
+        nprocs=nprocs,
+    )
+
+
+class TestBasics:
+    def test_chain_makespan_is_sum(self):
+        spec = _chain_spec([1.0, 2.0, 3.0])
+        res = simulate(spec, CPU_PLATFORM)
+        assert res.makespan == pytest.approx(6.0)
+        assert res.busy_seconds[0] == pytest.approx(6.0)
+        assert res.sync_seconds[0] == pytest.approx(0.0)
+
+    def test_fanout_parallelises(self):
+        res1 = simulate(_fanout_spec(1, 8), CPU_PLATFORM)
+        res8 = simulate(_fanout_spec(8, 8), CPU_PLATFORM)
+        assert res1.makespan == pytest.approx(9.0)
+        assert res8.makespan < res1.makespan
+
+    def test_cross_proc_message_delay(self):
+        spec = _chain_spec([1.0, 1.0], nprocs=2, owners=[0, 1])
+        spec.out_bytes = np.asarray([1e6, 0.0])
+        res = simulate(spec, A100_PLATFORM)
+        delay = A100_PLATFORM.message_time(0, 1, 1e6)
+        assert res.makespan == pytest.approx(2.0 + delay)
+        assert res.messages == 1
+        assert res.comm_bytes == pytest.approx(1e6)
+        # proc 1 waited for the message
+        assert res.sync_seconds[1] == pytest.approx(1.0 + delay)
+
+    def test_same_node_cheaper_than_cross_node(self):
+        p = A100_PLATFORM
+        assert p.message_time(0, 1, 1e6) < p.message_time(0, 5, 1e6)
+        assert p.message_time(2, 2, 1e9) == 0.0
+
+    def test_all_tasks_completed(self):
+        spec = _fanout_spec(4, 11)
+        res = simulate(spec, CPU_PLATFORM)
+        assert np.all(np.isfinite(res.start_times))
+        assert np.all(res.end_times >= res.start_times)
+
+    def test_deadlock_detected(self):
+        spec = _chain_spec([1.0, 1.0])
+        spec.n_deps = np.asarray([0, 2], dtype=np.int64)  # never satisfied
+        with pytest.raises(RuntimeError, match="deadlock"):
+            simulate(spec, CPU_PLATFORM)
+
+    def test_unknown_schedule(self):
+        with pytest.raises(ValueError, match="schedule"):
+            simulate(_chain_spec([1.0]), CPU_PLATFORM, schedule="bogus")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="owner"):
+            SimSpec(
+                durations=np.ones(2),
+                owner=np.zeros(1, dtype=np.int64),
+                out_bytes=np.zeros(2),
+                n_deps=np.zeros(2, dtype=np.int64),
+                successors=[[], []],
+                priority=np.zeros(2),
+                nprocs=1,
+            )
+        with pytest.raises(ValueError, match="exceeds"):
+            SimSpec(
+                durations=np.ones(1),
+                owner=np.asarray([3]),
+                out_bytes=np.zeros(1),
+                n_deps=np.zeros(1, dtype=np.int64),
+                successors=[[]],
+                priority=np.zeros(1),
+                nprocs=2,
+            )
+
+
+class TestLevelSet:
+    def test_requires_levels(self):
+        spec = _chain_spec([1.0, 1.0])
+        with pytest.raises(ValueError, match="levels"):
+            simulate(spec, CPU_PLATFORM, schedule="levelset")
+
+    def test_barrier_blocks_early_start(self):
+        # two independent tasks at level 0 on proc 0, one level-1 task on
+        # proc 1 with NO dependencies: the barrier must still hold it back
+        spec = SimSpec(
+            durations=np.asarray([2.0, 3.0, 1.0]),
+            owner=np.asarray([0, 0, 1]),
+            out_bytes=np.zeros(3),
+            n_deps=np.zeros(3, dtype=np.int64),
+            successors=[[], [], []],
+            priority=np.arange(3, dtype=np.float64),
+            nprocs=2,
+            levels=np.asarray([0, 0, 1]),
+        )
+        res = simulate(spec, CPU_PLATFORM, schedule="levelset")
+        # level-1 task starts only after both level-0 tasks finish (t=5)
+        assert res.start_times[2] == pytest.approx(5.0)
+        res_free = simulate(spec, CPU_PLATFORM, schedule="syncfree")
+        assert res_free.start_times[2] == pytest.approx(0.0)
+
+    def test_levelset_never_faster(self):
+        spec = _fanout_spec(4, 12)
+        spec.levels = np.asarray([0] + [1] * 12, dtype=np.int64)
+        free = simulate(spec, CPU_PLATFORM, schedule="syncfree")
+        barrier = simulate(spec, CPU_PLATFORM, schedule="levelset")
+        assert barrier.makespan >= free.makespan - 1e-12
+
+    def test_empty_leading_levels(self):
+        spec = _chain_spec([1.0, 1.0], levels=[3, 4])
+        res = simulate(spec, CPU_PLATFORM, schedule="levelset")
+        assert res.makespan == pytest.approx(2.0)
+
+
+class TestAccounting:
+    def test_busy_conservation(self):
+        spec = _fanout_spec(3, 9, dur=0.5)
+        res = simulate(spec, CPU_PLATFORM)
+        assert res.total_busy == pytest.approx(10 * 0.5)
+
+    def test_gflops(self):
+        spec = _chain_spec([2.0])
+        res = simulate(spec, CPU_PLATFORM)
+        assert res.gflops(4e9) == pytest.approx(2.0)
+
+    def test_sync_ratio_bounded(self):
+        spec = _fanout_spec(4, 16)
+        res = simulate(spec, CPU_PLATFORM)
+        assert 0.0 <= res.sync_ratio() <= 1.0
+
+    def test_makespan_at_least_critical_path(self):
+        spec = _chain_spec([1.0, 1.0, 1.0], nprocs=4, owners=[0, 1, 2])
+        res = simulate(spec, A100_PLATFORM)
+        assert res.makespan >= 3.0

@@ -1,0 +1,110 @@
+"""Property-based tests of the discrete-event simulator on random DAGs."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import A100_PLATFORM, CPU_PLATFORM, SimSpec, simulate
+
+
+@st.composite
+def random_dags(draw):
+    """A random layered DAG: edges only point to later tasks, so it is
+    acyclic by construction."""
+    n = draw(st.integers(1, 40))
+    nprocs = draw(st.integers(1, 8))
+    seed = draw(st.integers(0, 2**31 - 1))
+    edge_prob = draw(st.floats(0.0, 0.3))
+    rng = np.random.default_rng(seed)
+    successors: list[list[int]] = [[] for _ in range(n)]
+    n_deps = np.zeros(n, dtype=np.int64)
+    for a in range(n):
+        for b in range(a + 1, n):
+            if rng.random() < edge_prob:
+                successors[a].append(b)
+                n_deps[b] += 1
+    spec = SimSpec(
+        durations=rng.random(n) * 1e-3 + 1e-6,
+        owner=rng.integers(0, nprocs, size=n),
+        out_bytes=rng.random(n) * 1e4,
+        n_deps=n_deps,
+        successors=successors,
+        priority=rng.random(n),
+        nprocs=nprocs,
+        levels=None,
+    )
+    return spec, rng
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dags())
+def test_simulation_invariants(dag_rng):
+    spec, _ = dag_rng
+    res = simulate(spec, A100_PLATFORM)
+    n = len(spec.durations)
+    # every task ran exactly once, for its full duration
+    assert np.all(np.isfinite(res.start_times))
+    np.testing.assert_allclose(
+        res.end_times - res.start_times, spec.durations, rtol=1e-12
+    )
+    # work conservation (up to summation-order rounding)
+    assert np.isclose(res.total_busy, spec.durations.sum(), rtol=1e-12)
+    # makespan bounds: at least the busiest processor, at most serial time
+    loads = np.zeros(spec.nprocs)
+    np.add.at(loads, spec.owner, spec.durations)
+    assert res.makespan >= loads.max() - 1e-15
+    serial_plus_comm = spec.durations.sum() + res.messages * (
+        A100_PLATFORM.inter_latency + 1e4 / A100_PLATFORM.inter_bandwidth
+    ) * 2
+    assert res.makespan <= serial_plus_comm + 1e-12
+    # dependencies respected
+    for a in range(n):
+        for b in spec.successors[a]:
+            assert res.start_times[b] >= res.end_times[a] - 1e-15
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_dags())
+def test_levelset_never_beats_syncfree(dag_rng):
+    spec, rng = dag_rng
+    # assign consistent levels: longest-path depth
+    n = len(spec.durations)
+    level = np.zeros(n, dtype=np.int64)
+    for a in range(n):
+        for b in spec.successors[a]:
+            level[b] = max(level[b], level[a] + 1)
+    spec.levels = level
+    free = simulate(spec, CPU_PLATFORM, schedule="syncfree")
+    barrier = simulate(spec, CPU_PLATFORM, schedule="levelset")
+    # Greedy list scheduling exhibits Graham anomalies: adding barriers can
+    # occasionally *improve* the makespan by steering a process away from a
+    # bad early pick, so "barrier ≥ sync-free" is not a theorem for random
+    # priorities.  The anomaly is bounded (factor < 2 − 1/p); on the real
+    # PanguLU DAGs with critical-path priorities the strict inequality
+    # holds empirically (see test_costmodel / bench_fig14).
+    assert barrier.makespan >= free.makespan / 2 - 1e-12
+    # both execute the same work (up to summation-order rounding)
+    assert np.isclose(barrier.total_busy, free.total_busy, rtol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_dags())
+def test_more_processors_never_hurt_without_comm(dag_rng):
+    """With a free network, doubling processors cannot slow the greedy
+    schedule by more than the classic list-scheduling anomaly bound."""
+    spec, _ = dag_rng
+    from dataclasses import replace
+
+    free_net = replace(
+        CPU_PLATFORM,
+        intra_latency=0.0,
+        inter_latency=0.0,
+        intra_bandwidth=1e30,
+        inter_bandwidth=1e30,
+    )
+    res = simulate(spec, free_net)
+    # Graham's bound: makespan <= serial/p + critical path; with owners
+    # fixed we just check against the trivial upper bound
+    assert res.makespan <= spec.durations.sum() + 1e-12
