@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Tier-2 micro-benchmark harness — kernel timings to a checked-in JSON.
+
+Standalone (no pytest): times every SSSSM / GESSM / TSTRF kernel variant
+plus the planned execution path on three canonical block densities —
+``sparse`` (bin-search regime), ``medium`` (crossover), ``filled``
+(post-fill blocks where the dense-mapped variants win) — and writes the
+results to ``BENCH_kernels.json`` at the repo root.
+
+The JSON is checked in as a coarse performance trajectory for the
+repo: absolute numbers are machine-dependent, but the *ratios* between
+variants (and planned vs unplanned) are what reviews look at.
+
+Usage::
+
+    python benchmarks/run_tier2.py            # writes BENCH_kernels.json
+    REPRO_BENCH_SCALE=0.5 python benchmarks/run_tier2.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.kernels import (  # noqa: E402
+    GESSM_VARIANTS,
+    GETRF_VARIANTS,
+    SSSSM_VARIANTS,
+    TSTRF_VARIANTS,
+    Workspace,
+    build_gessm_plan,
+    build_ssssm_plan,
+    build_tstrf_plan,
+    run_gessm_plan,
+    run_ssssm_plan,
+    run_tstrf_plan,
+)
+from repro.sparse import random_sparse  # noqa: E402
+from repro.symbolic import symbolic_symmetric  # noqa: E402
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+#: block order of the cut blocks (paper-scale 256+; python-friendly here)
+BLOCK_ORDER = max(32, int(320 * SCALE)) * 2
+#: the three canonical density regimes (generator density pre-fill)
+DENSITY_REGIMES = {"sparse": 0.008, "medium": 0.02, "filled": 0.06}
+REPEATS = 5
+
+WS = Workspace()
+
+
+def _quad(n: int, density: float, seed: int = 7):
+    """diag / top-right / bottom-left / bottom-right blocks of a 2×2 cut
+    through real symbolic fill."""
+    a = random_sparse(n, density, seed=seed + n)
+    f = symbolic_symmetric(a).filled
+    h = n // 2
+    top, bot = np.arange(h), np.arange(h, n)
+    return (
+        f.extract_submatrix(top, range(h)),
+        f.extract_submatrix(top, range(h, n)),
+        f.extract_submatrix(bot, range(h)),
+        f.extract_submatrix(bot, range(h, n)),
+    )
+
+
+def _best_ms(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
+def bench_regime(regime: str, density: float) -> dict:
+    d, b, r, c = _quad(BLOCK_ORDER, density)
+    dfac = d.copy()
+    GETRF_VARIANTS["G_V2"](dfac, WS)
+
+    out: dict = {
+        "density": density,
+        "block_order": BLOCK_ORDER // 2,
+        "nnz": {"diag": d.nnz, "b": b.nnz, "r": r.nnz, "c": c.nnz},
+        "SSSSM": {}, "GESSM": {}, "TSTRF": {},
+    }
+    for version, fn in SSSSM_VARIANTS.items():
+        out["SSSSM"][version] = _best_ms(lambda: fn(c.copy(), r, b, WS))
+    for version, fn in GESSM_VARIANTS.items():
+        out["GESSM"][version] = _best_ms(lambda: fn(dfac, b.copy(), WS))
+    for version, fn in TSTRF_VARIANTS.items():
+        out["TSTRF"][version] = _best_ms(lambda: fn(dfac, r.copy(), WS))
+
+    plan_s = build_ssssm_plan(c, r, b)
+    plan_g = build_gessm_plan(dfac, b)
+    plan_t = build_tstrf_plan(dfac, r)
+    out["SSSSM"]["planned"] = _best_ms(
+        lambda: run_ssssm_plan(plan_s, c.copy(), r, b)
+    )
+    out["SSSSM"]["plan_build"] = _best_ms(lambda: build_ssssm_plan(c, r, b))
+    out["GESSM"]["planned"] = _best_ms(
+        lambda: run_gessm_plan(plan_g, dfac, b.copy())
+    )
+    out["GESSM"]["plan_build"] = _best_ms(lambda: build_gessm_plan(dfac, b))
+    out["TSTRF"]["planned"] = _best_ms(
+        lambda: run_tstrf_plan(plan_t, dfac, r.copy())
+    )
+    out["TSTRF"]["plan_build"] = _best_ms(lambda: build_tstrf_plan(dfac, r))
+    return out
+
+
+def main() -> None:
+    results = {
+        regime: bench_regime(regime, density)
+        for regime, density in DENSITY_REGIMES.items()
+    }
+    doc = {
+        "schema": "repro-bench-kernels/1",
+        "units": "milliseconds (best of %d)" % REPEATS,
+        "scale": SCALE,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "regimes": results,
+    }
+    out_path = REPO_ROOT / "BENCH_kernels.json"
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+
+    width = max(len(v) for fam in ("SSSSM", "GESSM", "TSTRF")
+                for v in results["sparse"][fam])
+    print(f"block order {BLOCK_ORDER // 2}, regimes "
+          f"{ {k: v['density'] for k, v in results.items()} }")
+    for fam in ("SSSSM", "GESSM", "TSTRF"):
+        print(f"\n{fam} (ms):")
+        for version in results["sparse"][fam]:
+            row = "  ".join(
+                f"{results[r][fam][version]:8.3f}" for r in results
+            )
+            print(f"  {version:<{width}}  {row}")
+    print(f"\nwrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

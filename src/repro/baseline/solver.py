@@ -18,11 +18,10 @@ comparison in the paper's evaluation has a like-for-like counterpart:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.numeric import NumericOptions
 from ..ordering import amd, colamd, mc64, nested_dissection, rcm
 from ..sparse.csc import CSCMatrix
 from ..sparse.patterns import ensure_diagonal

@@ -8,7 +8,9 @@ from .mapping import ProcessGrid, assign_tasks, balance_loads, load_imbalance
 from .numeric import (
     FactorizeStats,
     NumericOptions,
+    execute_task,
     factorize,
+    resolve_plan_cache,
     run_task,
     task_features,
 )
@@ -35,6 +37,8 @@ __all__ = [
     "FactorizeStats",
     "factorize",
     "run_task",
+    "execute_task",
+    "resolve_plan_cache",
     "task_features",
     "partial_factorize",
     "extract_trailing",

@@ -71,6 +71,12 @@ class BlockMatrix:
         Per-block boolean arrays over local columns/rows marking which are
         structurally nonzero — used to decide whether a Schur product
         between two blocks is structurally empty.
+    plan_cache:
+        Lazily-created :class:`repro.kernels.plans.PlanCache` of
+        fixed-pattern execution plans for this structure (managed by
+        :func:`repro.core.numeric.resolve_plan_cache`).  Attached here —
+        not to the options — because plans are keyed by storage slots,
+        which only identify patterns within one block structure.
     """
 
     n: int
@@ -81,6 +87,7 @@ class BlockMatrix:
     blk_values: list[CSCMatrix]
     col_support: list[np.ndarray] = field(default_factory=list)
     row_support: list[np.ndarray] = field(default_factory=list)
+    plan_cache: object | None = field(default=None, repr=False)
     _index: dict | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------

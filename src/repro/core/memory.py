@@ -41,17 +41,27 @@ class MemoryReport:
     dense_equivalent_bytes:
         Storing every *stored* block as a dense panel (what a padded
         supernodal layout pays for the same coverage).
+    plan_bytes:
+        Index arrays of the cached fixed-pattern execution plans
+        (:mod:`repro.kernels.plans`), when the structure carries a plan
+        cache — the price of precomputed scatter addressing.
     """
 
     values_bytes: int
     layer2_index_bytes: int
     layer1_index_bytes: int
     dense_equivalent_bytes: int
+    plan_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:
-        """Full two-layer footprint."""
-        return self.values_bytes + self.layer2_index_bytes + self.layer1_index_bytes
+        """Full two-layer footprint, plans included."""
+        return (
+            self.values_bytes
+            + self.layer2_index_bytes
+            + self.layer1_index_bytes
+            + self.plan_bytes
+        )
 
     @property
     def layer1_overhead(self) -> float:
@@ -70,7 +80,8 @@ class MemoryReport:
 
 
 def memory_report(f: BlockMatrix) -> MemoryReport:
-    """Account the storage of a blocked matrix exactly."""
+    """Account the storage of a blocked matrix exactly (including any
+    execution plans cached on the structure)."""
     values = 0
     layer2 = 0
     dense_eq = 0
@@ -79,11 +90,13 @@ def memory_report(f: BlockMatrix) -> MemoryReport:
         layer2 += blk.nnz * _IDX + (blk.ncols + 1) * _IDX
         dense_eq += blk.nrows * blk.ncols * _VAL
     layer1 = (f.nb + 1) * _IDX + f.num_blocks * (_IDX + _IDX)  # colptr + rowidx + payload ptr
+    plans = f.plan_cache
     return MemoryReport(
         values_bytes=int(values),
         layer2_index_bytes=int(layer2),
         layer1_index_bytes=int(layer1),
         dense_equivalent_bytes=int(dense_eq),
+        plan_bytes=int(plans.nbytes) if plans is not None else 0,
     )
 
 

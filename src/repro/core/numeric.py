@@ -21,12 +21,33 @@ import time
 from dataclasses import dataclass, field
 
 from ..kernels.base import Workspace
-from ..kernels.registry import KernelType, get_kernel
+from ..kernels.plans import (
+    PlanCache,
+    build_gessm_plan,
+    build_getrf_plan,
+    build_ssssm_plan,
+    build_tstrf_plan,
+    run_gessm_plan,
+    run_getrf_plan,
+    run_ssssm_plan,
+    run_tstrf_plan,
+)
+from ..kernels.registry import KernelType, get_kernel, plan_capable
 from ..kernels.selector import SelectorPolicy, TaskFeatures
 from .blocking import BlockMatrix
 from .dag import Task, TaskDAG, TaskType
 
-__all__ = ["NumericOptions", "FactorizeStats", "factorize", "task_features", "run_task"]
+__all__ = [
+    "NumericOptions",
+    "FactorizeStats",
+    "factorize",
+    "task_features",
+    "run_task",
+    "execute_task",
+    "resolve_plan_cache",
+    "ready_entry",
+    "push_ready",
+]
 
 _TTYPE_TO_KTYPE = {
     TaskType.GETRF: KernelType.GETRF,
@@ -50,10 +71,21 @@ class NumericOptions:
         magnitude than ``pivot_floor · max|block|`` is replaced by that
         bound with matching sign (SuperLU GESP policy).  0 disables the
         replacement and raises on exact zeros.
+    use_plans:
+        Execute the sparse-addressing kernel variants through cached
+        fixed-pattern execution plans (:mod:`repro.kernels.plans`).
+        Planned execution is bit-identical to the unplanned kernels; the
+        flag exists for the Fig. 14-style planned-vs-unplanned ablation.
+    plan_entry_limit:
+        Per-task cap on SSSSM scatter-map entries; products whose plan
+        would exceed it fall back to unplanned execution (memory valve).
+        ``None`` removes the cap.
     """
 
     selector: SelectorPolicy = field(default_factory=SelectorPolicy.default)
     pivot_floor: float = 1e-12
+    use_plans: bool = True
+    plan_entry_limit: int | None = 4_000_000
 
 
 @dataclass
@@ -66,11 +98,13 @@ class FactorizeStats:
     seconds_by_type: dict[str, float] = field(default_factory=dict)
     flops_total: int = 0
     pivots_replaced: int = 0
+    planned_tasks: int = 0
+    plan_bytes: int = 0
 
     def version_histogram(self) -> dict[str, int]:
         """Count of executed tasks per ``TYPE/VERSION`` label."""
         out: dict[str, int] = {}
-        for tid, label in self.kernel_choices.items():
+        for label in self.kernel_choices.values():
             out[label] = out.get(label, 0) + 1
         return out
 
@@ -108,26 +142,96 @@ def task_features(f: BlockMatrix, task: Task) -> TaskFeatures:
     )
 
 
-def run_task(
+def resolve_plan_cache(f: BlockMatrix, options: NumericOptions) -> PlanCache | None:
+    """The plan cache of this block structure, or ``None`` with plans off.
+
+    The cache lives on the :class:`BlockMatrix` (created on first use) so
+    plans follow the pattern they address — shared by every engine that
+    factorises the same structure and reused across refactorisations.
+    """
+    if not options.use_plans:
+        return None
+    cache = f.plan_cache
+    if cache is None:
+        cache = f.plan_cache = PlanCache(ssssm_entry_limit=options.plan_entry_limit)
+    return cache
+
+
+def _try_planned(
+    f: BlockMatrix, task: Task, ktype: KernelType, plans: PlanCache, pivot_floor: float
+) -> int | None:
+    """Execute a task through its cached execution plan.
+
+    Returns the replaced-pivot count, or ``None`` when no plan applies
+    (SSSSM declined over the entry limit) — the caller falls back to the
+    unplanned kernel.  Plans are keyed by the storage slots of the
+    participating blocks: patterns are immutable post-symbolic, so a slot
+    identifies a pattern for the life of the structure.
+    """
+    target = f.block(task.bi, task.bj)
+    if ktype is KernelType.GETRF:
+        slot = f.block_slot(task.bi, task.bj)
+        plan = plans.get(("getrf", slot), lambda: build_getrf_plan(target))
+        return run_getrf_plan(plan, target, pivot_floor=pivot_floor)
+    if ktype is KernelType.GESSM or ktype is KernelType.TSTRF:
+        diag = f.block(task.k, task.k)
+        key = (
+            "gessm" if ktype is KernelType.GESSM else "tstrf",
+            f.block_slot(task.k, task.k),
+            f.block_slot(task.bi, task.bj),
+        )
+        if ktype is KernelType.GESSM:
+            plan = plans.get(key, lambda: build_gessm_plan(diag, target))
+            run_gessm_plan(plan, diag, target)
+        else:
+            plan = plans.get(key, lambda: build_tstrf_plan(diag, target))
+            run_tstrf_plan(plan, diag, target)
+        return 0
+    a_blk = f.block(task.bi, task.k)
+    b_blk = f.block(task.k, task.bj)
+    key = (
+        "ssssm",
+        f.block_slot(task.bi, task.k),
+        f.block_slot(task.k, task.bj),
+        f.block_slot(task.bi, task.bj),
+    )
+    plan = plans.get(
+        key,
+        lambda: build_ssssm_plan(
+            target, a_blk, b_blk, entry_limit=plans.ssssm_entry_limit
+        ),
+    )
+    if plan is None:
+        return None
+    run_ssssm_plan(plan, target, a_blk, b_blk)
+    return 0
+
+
+def execute_task(
     f: BlockMatrix,
     task: Task,
     version: str,
     ws: Workspace,
     *,
     pivot_floor: float = 0.0,
-) -> int:
-    """Execute one task with an explicit kernel version (in place).
+    plans: PlanCache | None = None,
+) -> tuple[int, bool]:
+    """Execute one task, preferring a cached execution plan.
 
-    Returns the number of statically-replaced pivots (GETRF only; 0 for
-    the other kernel roles) — the GESP diagnostic aggregated in
-    :class:`FactorizeStats`.
+    Returns ``(replaced_pivots, planned)`` — the GESP diagnostic plus
+    whether a plan (rather than the unplanned kernel) ran.  This is the
+    shared per-task entry point of all three engines.
     """
     ktype = _TTYPE_TO_KTYPE[task.ttype]
+    if plans is not None and plan_capable(ktype, version):
+        replaced = _try_planned(f, task, ktype, plans, pivot_floor)
+        if replaced is not None:
+            return replaced, True
     kernel = get_kernel(ktype, version)
     target = f.block(task.bi, task.bj)
     assert target is not None
     if task.ttype == TaskType.GETRF:
-        return int(kernel(target, ws, pivot_floor=pivot_floor) or 0)
+        return int(kernel(target, ws, pivot_floor=pivot_floor) or 0), False
     if task.ttype in (TaskType.GESSM, TaskType.TSTRF):
         diag = f.block(task.k, task.k)
         kernel(diag, target, ws)
@@ -135,7 +239,38 @@ def run_task(
         a_blk = f.block(task.bi, task.k)
         b_blk = f.block(task.k, task.bj)
         kernel(target, a_blk, b_blk, ws)
-    return 0
+    return 0, False
+
+
+def run_task(
+    f: BlockMatrix,
+    task: Task,
+    version: str,
+    ws: Workspace,
+    *,
+    pivot_floor: float = 0.0,
+    plans: PlanCache | None = None,
+) -> int:
+    """Execute one task with an explicit kernel version (in place).
+
+    Returns the number of statically-replaced pivots (GETRF only; 0 for
+    the other kernel roles) — the GESP diagnostic aggregated in
+    :class:`FactorizeStats`.  Pass ``plans`` to route the plannable
+    variants through cached execution plans (bit-identical result).
+    """
+    return execute_task(f, task, version, ws, pivot_floor=pivot_floor, plans=plans)[0]
+
+
+def ready_entry(task: Task, tid: int) -> tuple[int, int, int]:
+    """Ready-heap priority of a task: earliest elimination step first,
+    then kernel class, then id — the Section 4.4 "most critical task"
+    ordering shared by every engine."""
+    return (task.k, int(task.ttype), tid)
+
+
+def push_ready(heap: list[tuple[int, int, int]], dag: TaskDAG, tid: int) -> None:
+    """Push a newly-ready task onto the priority heap."""
+    heapq.heappush(heap, ready_entry(dag.tasks[tid], tid))
 
 
 def factorize(
@@ -155,11 +290,11 @@ def factorize(
     options = options or NumericOptions()
     stats = FactorizeStats()
     ws = Workspace()
+    plans = resolve_plan_cache(f, options)
     counters = dag.dep_counts()
     ready: list[tuple[int, int, int]] = []
     for tid in dag.roots():
-        t = dag.tasks[tid]
-        heapq.heappush(ready, (t.k, int(t.ttype), tid))
+        push_ready(ready, dag, tid)
 
     t_start = time.perf_counter()
     executed = 0
@@ -171,27 +306,30 @@ def factorize(
         version = options.selector.select(ktype, feats)
         if collect_timings:
             t0 = time.perf_counter()
-            stats.pivots_replaced += run_task(
-                f, task, version, ws, pivot_floor=options.pivot_floor
+            replaced, planned = execute_task(
+                f, task, version, ws, pivot_floor=options.pivot_floor, plans=plans
             )
             dt = time.perf_counter() - t0
             key = task.ttype.name
             stats.seconds_by_type[key] = stats.seconds_by_type.get(key, 0.0) + dt
         else:
-            stats.pivots_replaced += run_task(
-                f, task, version, ws, pivot_floor=options.pivot_floor
+            replaced, planned = execute_task(
+                f, task, version, ws, pivot_floor=options.pivot_floor, plans=plans
             )
+        stats.pivots_replaced += replaced
+        stats.planned_tasks += planned
         stats.kernel_choices[tid] = f"{ktype.value}/{version}"
         stats.flops_total += task.flops
         executed += 1
         for s in task.successors:
             counters[s] -= 1
             if counters[s] == 0:
-                ts = dag.tasks[s]
-                heapq.heappush(ready, (ts.k, int(ts.ttype), s))
+                push_ready(ready, dag, s)
 
     stats.tasks_executed = executed
     stats.seconds_total = time.perf_counter() - t_start
+    if plans is not None:
+        stats.plan_bytes = plans.nbytes
     if executed != len(dag.tasks):
         raise RuntimeError(
             f"deadlock: executed {executed} of {len(dag.tasks)} tasks "

@@ -18,7 +18,15 @@ from ..kernels.base import Workspace
 from ..sparse.csc import CSCMatrix, coo_to_csc
 from .blocking import BlockMatrix
 from .dag import TaskDAG
-from .numeric import FactorizeStats, NumericOptions, run_task, task_features, _TTYPE_TO_KTYPE
+from .numeric import (
+    _TTYPE_TO_KTYPE,
+    FactorizeStats,
+    NumericOptions,
+    execute_task,
+    push_ready,
+    resolve_plan_cache,
+    task_features,
+)
 
 __all__ = ["partial_factorize", "extract_trailing"]
 
@@ -40,29 +48,32 @@ def partial_factorize(
     options = options or NumericOptions()
     stats = FactorizeStats()
     ws = Workspace()
+    plans = resolve_plan_cache(f, options)
     counters = dag.dep_counts()
     ready: list[tuple[int, int, int]] = []
     for tid in dag.roots():
-        t = dag.tasks[tid]
-        if t.k < kb:
-            heapq.heappush(ready, (t.k, int(t.ttype), tid))
+        if dag.tasks[tid].k < kb:
+            push_ready(ready, dag, tid)
     while ready:
         _, _, tid = heapq.heappop(ready)
         task = dag.tasks[tid]
         feats = task_features(f, task)
         ktype = _TTYPE_TO_KTYPE[task.ttype]
         version = options.selector.select(ktype, feats)
-        stats.pivots_replaced += run_task(
-            f, task, version, ws, pivot_floor=options.pivot_floor
+        replaced, planned = execute_task(
+            f, task, version, ws, pivot_floor=options.pivot_floor, plans=plans
         )
+        stats.pivots_replaced += replaced
+        stats.planned_tasks += planned
         stats.kernel_choices[tid] = f"{ktype.value}/{version}"
         stats.flops_total += task.flops
         stats.tasks_executed += 1
         for s in task.successors:
             counters[s] -= 1
             if counters[s] == 0 and dag.tasks[s].k < kb:
-                ts = dag.tasks[s]
-                heapq.heappush(ready, (ts.k, int(ts.ttype), s))
+                push_ready(ready, dag, s)
+    if plans is not None:
+        stats.plan_bytes = plans.nbytes
     return stats
 
 

@@ -248,6 +248,9 @@ class PanguLU:
                 kernel_choices=tstats.kernel_choices,
                 tasks_executed=tstats.tasks_executed,
                 flops_total=self.dag.total_flops,
+                pivots_replaced=tstats.pivots_replaced,
+                planned_tasks=tstats.planned_tasks,
+                plan_bytes=tstats.plan_bytes,
             )
         else:
             self.numeric_stats = factorize(
@@ -344,7 +347,6 @@ class PanguLU:
         self.factorize()
         sign = 1.0
         logdet = 0.0
-        bs = self.blocks.bs
         for k in range(self.blocks.nb):
             diag = self.blocks.block(k, k)
             d = diag.diagonal()
@@ -352,7 +354,6 @@ class PanguLU:
                 return 0.0, -np.inf
             sign *= float(np.prod(np.sign(d)))
             logdet += float(np.sum(np.log(np.abs(d))))
-        del bs
         sign *= _perm_sign(self.row_perm) * _perm_sign(self.col_perm)
         logdet -= float(np.sum(np.log(self.row_scale)))
         logdet -= float(np.sum(np.log(self.col_scale)))
@@ -414,7 +415,11 @@ class PanguLU:
 
         refreshed = fill_in_values(self.symbolic.filled.pattern_copy(), work)
         bs = self.blocks.bs
+        plan_cache = self.blocks.plan_cache
         self.blocks = block_partition(refreshed, bs)
+        # same pattern ⇒ same blocking ⇒ same storage slots: the execution
+        # plans built for the previous factorisation stay valid verbatim
+        self.blocks.plan_cache = plan_cache
         self.numeric_stats = factorize(self.blocks, self.dag, self.options.numeric)
         self.phase_seconds["numeric"] = time.perf_counter() - t0
         self._factorized = True

@@ -1,6 +1,7 @@
 """Block sparse BLAS: the 17 kernel variants (GETRF×3, GESSM×5, TSTRF×5,
-SSSSM×4), structural FLOP counters, the kernel registry, and the
-decision-tree selector of Fig. 8."""
+SSSSM×4), structural FLOP counters, the kernel registry, the
+decision-tree selector of Fig. 8, and fixed-pattern execution plans
+(precomputed scatter addressing) for the sparse variants."""
 
 from .base import SingularBlockError, Workspace, split_lu
 from .batched import gessm_batched, tstrf_batched
@@ -19,12 +20,28 @@ from .gessm import (
     gessm_g_v2,
     gessm_g_v3,
 )
+from .plans import (
+    PLANNABLE_VERSIONS,
+    GETRFPlan,
+    PlanCache,
+    SolvePlan,
+    SSSSMPlan,
+    build_getrf_plan,
+    build_gessm_plan,
+    build_ssssm_plan,
+    build_tstrf_plan,
+    run_getrf_plan,
+    run_gessm_plan,
+    run_ssssm_plan,
+    run_tstrf_plan,
+)
 from .registry import (
     KERNEL_REGISTRY,
     KernelType,
     get_kernel,
     is_gpu_version,
     kernel_names,
+    plan_capable,
 )
 from .selector import (
     DecisionTree,
@@ -75,4 +92,18 @@ __all__ = [
     "SelectorPolicy",
     "default_trees",
     "calibrate",
+    "PlanCache",
+    "PLANNABLE_VERSIONS",
+    "plan_capable",
+    "SSSSMPlan",
+    "SolvePlan",
+    "GETRFPlan",
+    "build_ssssm_plan",
+    "run_ssssm_plan",
+    "build_gessm_plan",
+    "run_gessm_plan",
+    "build_tstrf_plan",
+    "run_tstrf_plan",
+    "build_getrf_plan",
+    "run_getrf_plan",
 ]

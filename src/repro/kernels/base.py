@@ -83,6 +83,18 @@ class Workspace:
         v[...] = 0.0
         return v
 
+    def presize(self, n: int, m: int | None = None) -> None:
+        """Grow all scratch buffers to at least ``(n, m)`` up front.
+
+        Worker threads call this once with the block size before entering
+        the task loop so no allocation (and no allocator contention)
+        happens inside the numeric hot path.
+        """
+        m = n if m is None else m
+        for which in ("a", "b", "c"):
+            self.dense(which, (n, m))
+        self.vector(n)
+
 
 def scatter_dense(block: CSCMatrix, out: np.ndarray) -> None:
     """Scatter the block values into ``out`` (must be zeroed, block-shaped)."""
@@ -114,7 +126,6 @@ def split_lu(diag: CSCMatrix) -> tuple[CSCMatrix, CSCMatrix]:
         sl = diag.col_slice(j)
         rows = diag.indices[sl]
         vals = data[sl]
-        pos = int(np.searchsorted(rows, j))
         below = rows > j
         upto = rows <= j
         l_idx.append(np.concatenate([[j], rows[below]]))
@@ -123,7 +134,6 @@ def split_lu(diag: CSCMatrix) -> tuple[CSCMatrix, CSCMatrix]:
         u_val.append(vals[upto])
         l_indptr[j + 1] = l_indptr[j] + l_idx[-1].size
         u_indptr[j + 1] = u_indptr[j] + u_idx[-1].size
-        del pos
     l = CSCMatrix(
         diag.shape,
         l_indptr,

@@ -22,7 +22,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..sparse.csc import CSCMatrix
-from .base import Workspace, csc_to_csr_arrays, gather_dense, scatter_dense, solve_levels, split_lu
+from .base import Workspace, split_lu
 from .gessm import GESSM_VARIANTS
 from .tstrf import TSTRF_VARIANTS
 

@@ -18,7 +18,14 @@ from .gessm import GESSM_VARIANTS
 from .ssssm import SSSSM_VARIANTS
 from .tstrf import TSTRF_VARIANTS
 
-__all__ = ["KernelType", "KERNEL_REGISTRY", "kernel_names", "get_kernel", "is_gpu_version"]
+__all__ = [
+    "KernelType",
+    "KERNEL_REGISTRY",
+    "kernel_names",
+    "get_kernel",
+    "is_gpu_version",
+    "plan_capable",
+]
 
 
 class KernelType(enum.Enum):
@@ -65,3 +72,11 @@ def get_kernel(ktype: KernelType, version: str) -> Callable:
 def is_gpu_version(version: str) -> bool:
     """True for the GPU-class (throughput-oriented) variants."""
     return version.startswith("G_")
+
+
+def plan_capable(ktype: KernelType, version: str) -> bool:
+    """True when the variant has a fixed-pattern execution plan that
+    reproduces its arithmetic bit-for-bit (see :mod:`repro.kernels.plans`)."""
+    from .plans import PLANNABLE_VERSIONS  # deferred: plans imports this module
+
+    return version in PLANNABLE_VERSIONS[ktype]

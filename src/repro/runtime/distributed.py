@@ -36,19 +36,11 @@ import numpy as np
 from ..core.blocking import BlockMatrix
 from ..core.dag import TaskDAG, TaskType
 from ..core.mapping import ProcessGrid
-from ..core.numeric import NumericOptions, run_task, task_features
+from ..core.numeric import _TTYPE_TO_KTYPE, NumericOptions, run_task, task_features
 from ..kernels.base import Workspace
-from ..kernels.registry import KernelType
 from ..sparse.csc import CSCMatrix
 
 __all__ = ["DistributedStats", "factorize_distributed"]
-
-_TTYPE_TO_KTYPE = {
-    TaskType.GETRF: KernelType.GETRF,
-    TaskType.GESSM: KernelType.GESSM,
-    TaskType.TSTRF: KernelType.TSTRF,
-    TaskType.SSSSM: KernelType.SSSSM,
-}
 
 
 @dataclass
@@ -85,8 +77,14 @@ class _LocalView:
                 f"worker touched block ({bi},{bj}) it neither owns nor received"
             ) from None
 
-    def block_slot(self, bi: int, bj: int) -> int:  # pragma: no cover - unused
-        return 0
+    def block_slot(self, bi: int, bj: int) -> int:
+        """Virtual storage slot: dense block-grid index.
+
+        Stable and unique per block coordinate, so it serves as a plan
+        cache key exactly like a real slot (each worker holds its own
+        cache — plans are process-local index arrays).
+        """
+        return bi * self.nb + bj
 
 
 def _worker_main(
@@ -99,6 +97,8 @@ def _worker_main(
     successors: list[list[int]],
     owner_of_task: np.ndarray,
     pivot_floor: float,
+    use_plans: bool,
+    plan_entry_limit: int | None,
     inboxes: list[mp.Queue],
     result_q: mp.Queue,
 ) -> None:
@@ -107,6 +107,7 @@ def _worker_main(
     ``tasks[tid] = (ttype, k, bi, bj, n_deps, flops)``.
     """
     from ..core.dag import Task
+    from ..kernels.plans import PlanCache
     from ..kernels.selector import SelectorPolicy
 
     view = _LocalView(nb, bs, n)
@@ -117,6 +118,8 @@ def _worker_main(
 
     selector = SelectorPolicy.default()
     ws = Workspace()
+    # plans are rank-local: each process addresses only blocks it holds
+    plans = PlanCache(ssssm_entry_limit=plan_entry_limit) if use_plans else None
     my_tasks = [t for t in range(len(tasks)) if owner_of_task[t] == rank]
     counters = {t: tasks[t][4] for t in my_tasks}
     ready: list[tuple[int, int, int]] = []
@@ -162,7 +165,7 @@ def _worker_main(
                 task = Task(tid, TaskType(ttype), k, bi, bj, flops)
                 feats = task_features(view, task)
                 version = selector.select(_TTYPE_TO_KTYPE[task.ttype], feats)
-                run_task(view, task, version, ws, pivot_floor=pivot_floor)
+                run_task(view, task, version, ws, pivot_floor=pivot_floor, plans=plans)
                 remaining -= 1
                 on_pred_done(tid)
                 dests = consumers(tid)
@@ -252,6 +255,7 @@ def factorize_distributed(
             args=(
                 rank, f.nb, f.bs, f.n, owned_per_rank[rank], tasks,
                 successors, owner_of_task, options.pivot_floor,
+                options.use_plans, options.plan_entry_limit,
                 inboxes, result_q,
             ),
             daemon=True,
@@ -288,7 +292,7 @@ def factorize_distributed(
         tasks_per_proc[rank] = ntasks
         messages += sent
         total_bytes += nbytes
-        for bi, bj, indptr, indices, data in blocks:
+        for bi, bj, _indptr, _indices, data in blocks:
             if owner_of_block.get((bi, bj)) != rank:
                 continue  # received operand copy, not authoritative
             f.block(bi, bj).data[...] = data

@@ -25,7 +25,7 @@ quantity Figs. 5 and 13 compare).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

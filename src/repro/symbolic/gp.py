@@ -14,8 +14,6 @@ static pivoting, matching the paper's setup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from ..sparse.csc import CSCMatrix, coo_to_csc

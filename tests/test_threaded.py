@@ -65,6 +65,32 @@ class TestProtocol:
                 bm, dag, NumericOptions(pivot_floor=0.0), n_workers=3
             )
 
+    def test_kernel_exception_propagates_and_quiesces(self, monkeypatch):
+        # a kernel that raises mid-DAG must surface the *original*
+        # exception to the caller with every worker quiesced first —
+        # factorize_threaded joins the pool before re-raising, so this
+        # test deadlocks (and times out) if quiescing is broken
+        import threading
+
+        from repro.core import NumericOptions
+        from repro.kernels.registry import KERNEL_REGISTRY, KernelType
+
+        class _Boom(RuntimeError):
+            pass
+
+        def boom(*args, **kwargs):
+            raise _Boom("injected kernel failure")
+
+        for version in list(KERNEL_REGISTRY[KernelType.SSSSM]):
+            monkeypatch.setitem(KERNEL_REGISTRY[KernelType.SSSSM], version, boom)
+        _, bm, dag = _prepared(n=120, bs=10, seed=3)
+        threads_before = threading.active_count()
+        with pytest.raises(_Boom, match="injected kernel failure"):
+            factorize_threaded(
+                bm, dag, NumericOptions(use_plans=False), n_workers=4
+            )
+        assert threading.active_count() == threads_before
+
     def test_records_kernel_choices(self):
         _, bm, dag = _prepared()
         stats = factorize_threaded(bm, dag, n_workers=2)
