@@ -1,0 +1,10 @@
+.PHONY: check lint test
+
+check:
+	sh scripts/check.sh
+
+lint:
+	ruff check src tests benchmarks examples
+
+test:
+	PYTHONPATH=src python -m pytest -x -q

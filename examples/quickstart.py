@@ -4,7 +4,9 @@
 Generates the ecology1 analogue (a 2D grid Laplacian, one of the paper's
 16 test matrices), runs the full five-phase pipeline, reports per-phase
 times and the solution residual, and then repeats the numeric
-factorisation with the real threaded synchronisation-free executor.
+factorisation through the engine registry with the real threaded
+synchronisation-free executor — recording a Chrome trace of the actual
+run (open ``quickstart_trace.json`` in chrome://tracing or Perfetto).
 
 Run:  python examples/quickstart.py [scale]
 """
@@ -16,7 +18,7 @@ import sys
 import numpy as np
 
 from repro import PanguLU, SolverOptions
-from repro.runtime import factorize_threaded
+from repro.runtime import available_engines, write_recorder_trace
 from repro.sparse import generate
 
 
@@ -40,15 +42,21 @@ def main() -> None:
     print("kernel versions used:",
           dict(sorted(stats.version_histogram().items())))
 
-    # run the numeric phase again, for real, with 4 worker threads
-    fresh = PanguLU(a, SolverOptions(ordering="nd"))
-    fresh.preprocess()
-    tstats = factorize_threaded(fresh.blocks, fresh.dag, n_workers=4)
+    # run the numeric phase again, for real, through the engine registry
+    # with 4 worker threads, recording scheduler events as we go
+    print(f"available engines: {available_engines()}")
+    fresh = PanguLU(a, SolverOptions(
+        ordering="nd", engine="threaded", n_workers=4, trace_events=True,
+    ))
+    fresh.factorize()
     lu_seq = solver.blocks.to_csc()
     lu_thr = fresh.blocks.to_csc()
     diff = float(np.abs(lu_seq.to_dense() - lu_thr.to_dense()).max())
-    print(f"threaded executor: {tstats.tasks_executed} tasks on "
-          f"{tstats.n_workers} workers, max |seq − thr| = {diff:.2e}")
+    print(f"threaded executor: {fresh.numeric_stats.tasks_executed} tasks on "
+          f"4 workers, max |seq − thr| = {diff:.2e}")
+    write_recorder_trace("quickstart_trace.json", fresh.recorder)
+    print(f"chrome trace of the real threaded run "
+          f"({len(fresh.recorder)} events) → quickstart_trace.json")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Repo-wide check: lint (when ruff is available) + the tier-1 test suite.
+# This is what CI and `make check` run; keep it in sync with ROADMAP.md.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests benchmarks examples
+else
+    echo "== ruff not installed; skipping lint =="
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q

@@ -40,7 +40,13 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print("error: need a square matrix", file=sys.stderr)
         return 2
     solver = PanguLU(
-        a, SolverOptions(ordering=args.ordering, n_workers=args.workers)
+        a, SolverOptions(
+            ordering=args.ordering,
+            n_workers=args.workers,
+            nprocs=max(1, args.workers) if args.engine == "distributed" else 1,
+            engine=args.engine,
+            trace_events=bool(args.trace),
+        )
     )
     rng = np.random.default_rng(0)
     b = np.ones(a.nrows) if args.rhs == "ones" else rng.standard_normal(a.nrows)
@@ -48,9 +54,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"n = {a.nrows}, nnz = {a.nnz}, "
           f"nnz(L+U) = {solver.symbolic.nnz_lu}, "
           f"blocks = {solver.blocks.nb}×{solver.blocks.nb} of {solver.blocks.bs}")
-    print(f"relative residual = {solver.residual_norm(x, b):.3e}")
+    print(f"engine = {solver.options.resolved_engine()}, "
+          f"relative residual = {solver.residual_norm(x, b):.3e}")
     for phase, seconds in solver.phase_seconds.items():
         print(f"  {phase:<12s} {seconds:8.4f} s")
+    if args.trace:
+        from .runtime import write_recorder_trace
+
+        write_recorder_trace(args.trace, solver.recorder)
+        print(f"chrome trace of the real run written to {args.trace}")
     if args.output:
         np.savetxt(args.output, x)
         print(f"solution written to {args.output}")
@@ -131,6 +143,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         write_chrome_trace(
             args.trace, last_sim.result, last_sim.assignment,
             names=names, categories=cats,
+            successors=[t.successors for t in solver.dag.tasks],
         )
         print(f"chrome trace of the largest run written to {args.trace}")
     return 0
@@ -150,7 +163,14 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--scale", type=float, default=0.3, help="analogue size knob")
     p.add_argument("--output", help="write the solution vector to this file")
     p.add_argument("--workers", type=int, default=1,
-                   help="worker threads for the numeric phase")
+                   help="worker threads (threaded engine) or ranks "
+                        "(distributed engine) for the numeric phase")
+    p.add_argument("--engine", default=None,
+                   choices=["sequential", "threaded", "distributed"],
+                   help="numeric execution engine (default: threaded when "
+                        "--workers > 1, else sequential)")
+    p.add_argument("--trace", help="write a chrome://tracing JSON of the real "
+                                   "numeric run to this path")
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("info", help="matrix statistics")

@@ -8,10 +8,13 @@ diagonal hold ``L``, blocks above hold ``U``.
 Execution follows the synchronisation-free discipline of Section 4.4: a
 ready-heap ordered by priority (earlier elimination step first — the
 critical path — then kernel class), counters per task, counter decrements
-on completion.  This module is the *sequential* engine used for
-correctness and single-process runs; the threaded engine lives in
-:mod:`repro.runtime.threaded` and the distributed behaviour is modelled in
-:mod:`repro.runtime.simulator` — all three replay the same DAG.
+on completion.  That discipline lives exactly once, in
+:class:`repro.runtime.scheduler.SchedulerCore`; this module is the
+*sequential* engine draining one core, the threaded engine
+(:mod:`repro.runtime.threaded`) shares a core between workers, the
+distributed engine (:mod:`repro.runtime.distributed`) gives each rank a
+core over its owned tasks, and :mod:`repro.runtime.simulator` models the
+same protocol in virtual time — all replay the same DAG.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..kernels.base import Workspace
+from ..runtime.scheduler import EventRecorder, SchedulerCore, WorkerLocal, ready_entry
 from ..kernels.plans import (
     PlanCache,
     build_gessm_plan,
@@ -261,13 +265,6 @@ def run_task(
     return execute_task(f, task, version, ws, pivot_floor=pivot_floor, plans=plans)[0]
 
 
-def ready_entry(task: Task, tid: int) -> tuple[int, int, int]:
-    """Ready-heap priority of a task: earliest elimination step first,
-    then kernel class, then id — the Section 4.4 "most critical task"
-    ordering shared by every engine."""
-    return (task.k, int(task.ttype), tid)
-
-
 def push_ready(heap: list[tuple[int, int, int]], dag: TaskDAG, tid: int) -> None:
     """Push a newly-ready task onto the priority heap."""
     heapq.heappush(heap, ready_entry(dag.tasks[tid], tid))
@@ -279,60 +276,53 @@ def factorize(
     options: NumericOptions | None = None,
     *,
     collect_timings: bool = False,
+    recorder: EventRecorder | None = None,
 ) -> FactorizeStats:
     """Factorise the blocked matrix in place by replaying the DAG.
 
-    Tasks are drawn from a ready-heap with priority
-    ``(k, task-type, tid)`` — the earliest elimination step first, which
-    keeps the critical path moving (the paper: "each process always
-    selects the most critical of the tasks to be computed").
+    Tasks are drawn from the shared scheduler core's ready-heap with
+    priority ``(k, task-type, tid)`` — the earliest elimination step
+    first, which keeps the critical path moving (the paper: "each
+    process always selects the most critical of the tasks to be
+    computed").  Pass an :class:`~repro.runtime.scheduler.EventRecorder`
+    to capture task/ready-depth events for Chrome-trace export.
     """
     options = options or NumericOptions()
     stats = FactorizeStats()
     ws = Workspace()
     plans = resolve_plan_cache(f, options)
-    counters = dag.dep_counts()
-    ready: list[tuple[int, int, int]] = []
-    for tid in dag.roots():
-        push_ready(ready, dag, tid)
+    core = SchedulerCore.from_dag(dag, recorder=recorder)
+    local = WorkerLocal()
 
     t_start = time.perf_counter()
-    executed = 0
-    while ready:
-        _, _, tid = heapq.heappop(ready)
+    while (tid := core.pop()) is not None:
         task = dag.tasks[tid]
         feats = task_features(f, task)
         ktype = _TTYPE_TO_KTYPE[task.ttype]
         version = options.selector.select(ktype, feats)
-        if collect_timings:
-            t0 = time.perf_counter()
-            replaced, planned = execute_task(
-                f, task, version, ws, pivot_floor=options.pivot_floor, plans=plans
-            )
-            dt = time.perf_counter() - t0
-            key = task.ttype.name
-            stats.seconds_by_type[key] = stats.seconds_by_type.get(key, 0.0) + dt
-        else:
-            replaced, planned = execute_task(
-                f, task, version, ws, pivot_floor=options.pivot_floor, plans=plans
-            )
-        stats.pivots_replaced += replaced
-        stats.planned_tasks += planned
-        stats.kernel_choices[tid] = f"{ktype.value}/{version}"
+        t0 = time.perf_counter() if (collect_timings or recorder) else 0.0
+        replaced, planned = execute_task(
+            f, task, version, ws, pivot_floor=options.pivot_floor, plans=plans
+        )
+        if collect_timings or recorder:
+            t1 = time.perf_counter()
+            if collect_timings:
+                key = task.ttype.name
+                stats.seconds_by_type[key] = (
+                    stats.seconds_by_type.get(key, 0.0) + t1 - t0
+                )
+            if recorder:
+                recorder.task(
+                    0, f"{task.ttype.name}(k={task.k},{task.bi},{task.bj})",
+                    task.ttype.name, t0, t1, tid,
+                )
+        local.count(tid, f"{ktype.value}/{version}", replaced, planned)
         stats.flops_total += task.flops
-        executed += 1
-        for s in task.successors:
-            counters[s] -= 1
-            if counters[s] == 0:
-                push_ready(ready, dag, s)
+        core.complete(tid)
 
-    stats.tasks_executed = executed
+    local.merge_into(stats)
     stats.seconds_total = time.perf_counter() - t_start
     if plans is not None:
         stats.plan_bytes = plans.nbytes
-    if executed != len(dag.tasks):
-        raise RuntimeError(
-            f"deadlock: executed {executed} of {len(dag.tasks)} tasks "
-            "(dependency counters inconsistent)"
-        )
+    core.check("sequential")
     return stats

@@ -83,14 +83,26 @@ class SolverOptions:
     numeric:
         Kernel selection and pivoting options for the numeric phase.
     nprocs:
-        Logical process count for the mapping (affects the distributed
-        simulation, not local numeric correctness).
+        Logical process count for the mapping and for the
+        ``"distributed"`` engine's rank count.
     load_balance:
         Apply the static time-slice balancing to the task assignment.
+    engine:
+        Execution engine for the numeric phase, resolved through the
+        registry in :mod:`repro.runtime.engines`: ``"sequential"``,
+        ``"threaded"`` (``n_workers`` threads) or ``"distributed"``
+        (``nprocs`` ranks over a message transport).  ``None`` (default)
+        picks ``"threaded"`` when ``n_workers > 1``, else
+        ``"sequential"``.
     n_workers:
-        Worker threads for the numeric phase; > 1 switches to the real
-        threaded synchronisation-free executor
+        Worker threads for the ``"threaded"`` engine
         (:func:`repro.runtime.factorize_threaded`).
+    trace_events:
+        Record structured scheduler events (task start/end, message
+        send/recv, ready-queue depth) during the numeric phase; after
+        :meth:`PanguLU.factorize` the recorder is available as
+        ``solver.recorder`` and can be serialised with
+        :func:`repro.runtime.write_recorder_trace`.
     refine_steps:
         Iterative-refinement sweeps after the triangular solves.  Static
         pivoting (MC64 + GESP pivot replacement) trades factorisation-time
@@ -106,6 +118,14 @@ class SolverOptions:
     load_balance: bool = True
     refine_steps: int = 2
     n_workers: int = 1
+    engine: str | None = None
+    trace_events: bool = False
+
+    def resolved_engine(self) -> str:
+        """The engine name after applying the ``None`` default rule."""
+        if self.engine is not None:
+            return self.engine
+        return "threaded" if self.n_workers > 1 else "sequential"
 
 
 class PanguLU:
@@ -149,6 +169,7 @@ class PanguLU:
         self.grid: ProcessGrid | None = None
         self.assignment: np.ndarray | None = None
         self.numeric_stats: FactorizeStats | None = None
+        self.recorder = None  # EventRecorder of the last factorize, if traced
         self._factorized = False
 
     # ------------------------------------------------------------------
@@ -231,31 +252,26 @@ class PanguLU:
         return self.blocks
 
     def factorize(self) -> FactorizeStats:
-        """Phase 4: numeric factorisation (idempotent)."""
+        """Phase 4: numeric factorisation (idempotent).
+
+        Dispatches to the engine named by ``options.engine`` through the
+        registry in :mod:`repro.runtime.engines` — every engine drains
+        the same DAG through the shared scheduler core and produces the
+        same factors.
+        """
         if self._factorized:
             return self.numeric_stats
         if self.blocks is None:
             self.preprocess()
         t0 = time.perf_counter()
-        if self.options.n_workers > 1:
-            from ..runtime.threaded import factorize_threaded
+        from ..runtime.engines import get_engine
+        from ..runtime.scheduler import EventRecorder
 
-            tstats = factorize_threaded(
-                self.blocks, self.dag, self.options.numeric,
-                n_workers=self.options.n_workers,
-            )
-            self.numeric_stats = FactorizeStats(
-                kernel_choices=tstats.kernel_choices,
-                tasks_executed=tstats.tasks_executed,
-                flops_total=self.dag.total_flops,
-                pivots_replaced=tstats.pivots_replaced,
-                planned_tasks=tstats.planned_tasks,
-                plan_bytes=tstats.plan_bytes,
-            )
-        else:
-            self.numeric_stats = factorize(
-                self.blocks, self.dag, self.options.numeric
-            )
+        engine = get_engine(self.options.resolved_engine())
+        self.recorder = EventRecorder() if self.options.trace_events else None
+        self.numeric_stats = engine(
+            self.blocks, self.dag, self.options, recorder=self.recorder
+        )
         self.phase_seconds["numeric"] = time.perf_counter() - t0
         self._factorized = True
         return self.numeric_stats

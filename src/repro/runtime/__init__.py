@@ -1,60 +1,79 @@
-"""Distributed heterogeneous runtime substrate: platform/network models,
-kernel cost models, the discrete-event simulator, and the real threaded
-synchronisation-free executor."""
+"""Distributed heterogeneous runtime substrate: the shared scheduler
+core, platform/network models, kernel cost models, the discrete-event
+simulator, the real threaded and distributed synchronisation-free
+executors with pluggable transports, the engine registry, and
+Chrome-trace export of simulated *and* real runs.
 
-from .adapters import (
-    PanguLUSimulation,
-    price_tasks,
-    simulate_pangulu,
-    simulate_tsolve,
-)
-from .distributed import DistributedStats, factorize_distributed
-from .costmodel import (
-    BYTES_PER_ENTRY,
-    SimTask,
-    VARIANT_PROFILES,
-    VariantProfile,
-    best_version,
-    extract_sim_tasks,
-    kernel_time,
-    simulated_trees,
-)
-from .machine import (
-    A100_PLATFORM,
-    CPU_PLATFORM,
-    MI50_PLATFORM,
-    Device,
-    Platform,
-)
-from .simulator import SimResult, SimSpec, simulate
-from .trace import to_chrome_trace, write_chrome_trace
-from .threaded import ThreadedStats, factorize_threaded
+Re-exports resolve lazily (PEP 562): :mod:`repro.core` depends on
+:mod:`repro.runtime.scheduler`, and the executors here depend on
+:mod:`repro.core` — loading submodules on attribute access instead of at
+package import keeps that mutual dependency acyclic.
+"""
 
-__all__ = [
-    "Device",
-    "Platform",
-    "A100_PLATFORM",
-    "MI50_PLATFORM",
-    "CPU_PLATFORM",
-    "SimTask",
-    "VariantProfile",
-    "VARIANT_PROFILES",
-    "kernel_time",
-    "best_version",
-    "extract_sim_tasks",
-    "simulated_trees",
-    "BYTES_PER_ENTRY",
-    "SimSpec",
-    "SimResult",
-    "simulate",
-    "to_chrome_trace",
-    "write_chrome_trace",
-    "PanguLUSimulation",
-    "simulate_pangulu",
-    "simulate_tsolve",
-    "price_tasks",
-    "DistributedStats",
-    "factorize_distributed",
-    "ThreadedStats",
-    "factorize_threaded",
-]
+_EXPORTS = {
+    # machine / cost models
+    "Device": ".machine",
+    "Platform": ".machine",
+    "A100_PLATFORM": ".machine",
+    "MI50_PLATFORM": ".machine",
+    "CPU_PLATFORM": ".machine",
+    "SimTask": ".costmodel",
+    "VariantProfile": ".costmodel",
+    "VARIANT_PROFILES": ".costmodel",
+    "kernel_time": ".costmodel",
+    "best_version": ".costmodel",
+    "extract_sim_tasks": ".costmodel",
+    "simulated_trees": ".costmodel",
+    "BYTES_PER_ENTRY": ".costmodel",
+    # simulator + bridges
+    "SimSpec": ".simulator",
+    "SimResult": ".simulator",
+    "simulate": ".simulator",
+    "PanguLUSimulation": ".adapters",
+    "simulate_pangulu": ".adapters",
+    "simulate_tsolve": ".adapters",
+    "price_tasks": ".adapters",
+    # scheduler core + events
+    "SchedulerCore": ".scheduler",
+    "WorkerLocal": ".scheduler",
+    "EventRecorder": ".scheduler",
+    "ready_entry": ".scheduler",
+    # tracing
+    "to_chrome_trace": ".trace",
+    "write_chrome_trace": ".trace",
+    "recorder_to_chrome_trace": ".trace",
+    "write_recorder_trace": ".trace",
+    # engines + transports
+    "register_engine": ".engines",
+    "get_engine": ".engines",
+    "available_engines": ".engines",
+    "Transport": ".transports",
+    "MultiprocessingTransport": ".transports",
+    "LoopbackTransport": ".transports",
+    "FaultPlan": ".transports",
+    "InjectedFault": ".transports",
+    "DistributedStats": ".distributed",
+    "factorize_distributed": ".distributed",
+    "ThreadedStats": ".threaded",
+    "factorize_threaded": ".threaded",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name, __name__), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

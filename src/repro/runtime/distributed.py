@@ -1,12 +1,14 @@
-"""Distributed-memory synchronisation-free executor (multiprocessing).
+"""Distributed-memory synchronisation-free executor.
 
 The closest in-repo analogue of PanguLU's MPI execution: the factorisation
-runs on ``n_procs`` separate OS processes, each of which
+runs on ``n_procs`` ranks, each of which
 
 * initially holds **only the blocks it owns** under the 2D block-cyclic
   rule (distributed memory, not shared);
 * executes the tasks targeting its blocks, picking the highest-priority
-  (earliest elimination step) ready task — the Section 4.4 discipline;
+  (earliest elimination step) ready task — the Section 4.4 discipline,
+  run by a rank-local :class:`~repro.runtime.scheduler.SchedulerCore`
+  restricted to the rank's own tasks;
 * on completing a panel task, **sends the factored block** to exactly the
   processes that consume it, piggybacking the dependency-counter
   decrement on the data message (the paper's "sends the sub-matrix block
@@ -14,9 +16,13 @@ runs on ``n_procs`` separate OS processes, each of which
 * decrements counters and releases tasks on receipt (Fig. 10 step 3b) —
   no barriers, no global synchronisation of any kind.
 
-Messages travel over ``multiprocessing`` queues; block payloads are the
-raw ``(indices, data)`` arrays.  The master scatters the owned blocks,
-gathers the factored ones back, and patches them into the caller's
+The message substrate is a pluggable :class:`~repro.runtime.transports.
+Transport`: by default one OS process per rank with ``multiprocessing``
+queues (block payloads are the raw ``(indptr, indices, data)`` arrays);
+the in-process :class:`~repro.runtime.transports.LoopbackTransport` runs
+the identical protocol on threads for deterministic testing and fault
+injection.  The master scatters the owned blocks, gathers the factored
+ones back, and patches them into the caller's
 :class:`~repro.core.blocking.BlockMatrix`, so the result is
 indistinguishable from a sequential factorisation (asserted by the
 tests).
@@ -27,18 +33,26 @@ pay pickling costs that real MPI ranks do not.
 
 from __future__ import annotations
 
-import heapq
-import multiprocessing as mp
-from dataclasses import dataclass
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.blocking import BlockMatrix
 from ..core.dag import TaskDAG, TaskType
 from ..core.mapping import ProcessGrid
-from ..core.numeric import _TTYPE_TO_KTYPE, NumericOptions, run_task, task_features
+from ..core.numeric import _TTYPE_TO_KTYPE, NumericOptions, execute_task, task_features
 from ..kernels.base import Workspace
 from ..sparse.csc import CSCMatrix
+from .scheduler import EventRecorder, SchedulerCore, ready_entry
+from .transports import (
+    Endpoint,
+    MultiprocessingTransport,
+    Transport,
+    TransportStopped,
+    TransportTimeout,
+)
 
 __all__ = ["DistributedStats", "factorize_distributed"]
 
@@ -51,6 +65,15 @@ class DistributedStats:
     tasks_per_proc: list[int]
     messages_sent: int
     block_bytes_sent: float
+    kernel_choices: dict[int, str] = field(default_factory=dict)
+    pivots_replaced: int = 0
+    planned_tasks: int = 0
+
+
+def _block_nbytes(blk: CSCMatrix) -> int:
+    """Actual wire size of a block payload: the ``indptr``, ``indices``
+    and ``data`` arrays at their real dtypes."""
+    return blk.indptr.nbytes + blk.indices.nbytes + blk.data.nbytes
 
 
 class _LocalView:
@@ -89,6 +112,7 @@ class _LocalView:
 
 def _worker_main(
     rank: int,
+    endpoint: Endpoint,
     nb: int,
     bs: int,
     n: int,
@@ -99,8 +123,7 @@ def _worker_main(
     pivot_floor: float,
     use_plans: bool,
     plan_entry_limit: int | None,
-    inboxes: list[mp.Queue],
-    result_q: mp.Queue,
+    trace: bool,
 ) -> None:
     """Worker loop: compute own tasks, exchange blocks, ship results back.
 
@@ -120,29 +143,30 @@ def _worker_main(
     ws = Workspace()
     # plans are rank-local: each process addresses only blocks it holds
     plans = PlanCache(ssssm_entry_limit=plan_entry_limit) if use_plans else None
-    my_tasks = [t for t in range(len(tasks)) if owner_of_task[t] == rank]
-    counters = {t: tasks[t][4] for t in my_tasks}
-    ready: list[tuple[int, int, int]] = []
-    for t in my_tasks:
-        if counters[t] == 0:
-            heapq.heappush(ready, (tasks[t][1], tasks[t][0], t))
-    remaining = len(my_tasks)
+    recorder = EventRecorder() if trace else None
+
+    class _T:  # entry shim so ready_entry works on the serialised tuples
+        __slots__ = ("k", "ttype")
+
+        def __init__(self, k, ttype):
+            self.k, self.ttype = k, ttype
+
+    entries = [ready_entry(_T(t[1], t[0]), tid) for tid, t in enumerate(tasks)]
+    succ_arrays = [np.asarray(s, dtype=np.int64) for s in successors]
+    n_deps = np.asarray([t[4] for t in tasks], dtype=np.int64)
+    my_tasks = np.flatnonzero(owner_of_task == rank)
+    core = SchedulerCore(
+        entries, succ_arrays, n_deps,
+        owned=my_tasks, recorder=recorder, lane=rank,
+    )
     sent_msgs = 0
-    sent_bytes = 0.0
+    sent_bytes = 0
+    choices: dict[int, str] = {}
+    pivots = 0
+    planned_count = 0
 
     def consumers(tid: int) -> set[int]:
-        return {
-            int(owner_of_task[s]) for s in successors[tid]
-        } - {rank}
-
-    def on_pred_done(tid: int) -> None:
-        for s in successors[tid]:
-            if int(owner_of_task[s]) == rank:
-                counters[s] -= 1
-                if counters[s] == 0:
-                    heapq.heappush(ready, (tasks[s][1], tasks[s][0], s))
-
-    import queue as queue_mod
+        return {int(owner_of_task[s]) for s in successors[tid]} - {rank}
 
     def absorb(msg) -> None:
         src_tid, bi, bj, indptr, indices, data = msg
@@ -154,49 +178,77 @@ def _worker_main(
             check=False,
         )
         view.add(bi, bj, blk)
-        on_pred_done(src_tid)
+        if recorder is not None:
+            recorder.recv(
+                rank, int(owner_of_task[src_tid]), src_tid,
+                indptr.nbytes + indices.nbytes + data.nbytes,
+            )
+        core.complete(src_tid)  # remote predecessor: releases local tasks
 
     try:
-        while remaining > 0:
-            # execute everything currently runnable (priority order)
-            while ready:
-                _, _, tid = heapq.heappop(ready)
-                ttype, k, bi, bj, _, flops = tasks[tid]
-                task = Task(tid, TaskType(ttype), k, bi, bj, flops)
-                feats = task_features(view, task)
-                version = selector.select(_TTYPE_TO_KTYPE[task.ttype], feats)
-                run_task(view, task, version, ws, pivot_floor=pivot_floor, plans=plans)
-                remaining -= 1
-                on_pred_done(tid)
-                dests = consumers(tid)
-                if dests:
-                    target = view.block(bi, bj)
-                    payload = (
-                        tid, bi, bj,
-                        target.indptr, target.indices, target.data,
-                    )
-                    for w in dests:
-                        inboxes[w].put(payload)
-                        sent_msgs += 1
-                        sent_bytes += target.nnz * 12.0
-            if remaining <= 0:
-                break
-            # nothing runnable: block for one message, then drain extras
-            absorb(inboxes[rank].get())
-            while True:
-                try:
-                    absorb(inboxes[rank].get_nowait())
-                except queue_mod.Empty:
-                    break
+        while not core.done():
+            tid = core.pop()
+            if tid is None:
+                # nothing runnable: block for one message, then drain extras
+                absorb(endpoint.recv())
+                while True:
+                    try:
+                        absorb(endpoint.recv(block=False))
+                    except queue_mod.Empty:
+                        break
+                continue
+            ttype, k, bi, bj, _, flops = tasks[tid]
+            task = Task(tid, TaskType(ttype), k, bi, bj, flops)
+            feats = task_features(view, task)
+            ktype = _TTYPE_TO_KTYPE[task.ttype]
+            version = selector.select(ktype, feats)
+            t0 = time.perf_counter() if recorder else 0.0
+            replaced, planned = execute_task(
+                view, task, version, ws, pivot_floor=pivot_floor, plans=plans
+            )
+            if recorder is not None:
+                recorder.task(
+                    rank, f"{task.ttype.name}(k={k},{bi},{bj})",
+                    task.ttype.name, t0, time.perf_counter(), tid,
+                )
+            choices[tid] = f"{ktype.value}/{version}"
+            pivots += replaced
+            planned_count += int(planned)
+            core.complete(tid)
+            endpoint.on_task_executed(core.executed)
+            dests = consumers(tid)
+            if dests:
+                target = view.block(bi, bj)
+                payload = (
+                    tid, bi, bj,
+                    target.indptr, target.indices, target.data,
+                )
+                nbytes = _block_nbytes(target)
+                for w in dests:
+                    endpoint.send(w, payload)
+                    sent_msgs += 1
+                    sent_bytes += nbytes
+                    if recorder is not None:
+                        recorder.send(rank, w, tid, nbytes)
         # ship factored owned blocks home (received operand copies stay)
         out = [
             (bi, bj, blk.indptr, blk.indices, blk.data)
             for (bi, bj), blk in view._blocks.items()
             if (bi, bj) in owned_keys
         ]
-        result_q.put(("ok", rank, len(my_tasks), sent_msgs, sent_bytes, out))
-    except Exception as exc:  # pragma: no cover - surfaced in the master
-        result_q.put(("error", rank, repr(exc)))
+        endpoint.post_result(
+            (
+                "ok", rank, int(my_tasks.size), sent_msgs, sent_bytes, out,
+                choices, pivots, planned_count, recorder,
+            )
+        )
+    except TransportStopped:  # master tore the pool down; exit quietly
+        return
+    except BaseException as exc:
+        try:
+            endpoint.post_result(("error", rank, repr(exc)))
+        except Exception:  # pragma: no cover - result channel gone
+            pass
 
 
 def factorize_distributed(
@@ -206,20 +258,27 @@ def factorize_distributed(
     *,
     options: NumericOptions | None = None,
     timeout: float = 300.0,
+    transport: Transport | None = None,
+    recorder: EventRecorder | None = None,
 ) -> DistributedStats:
-    """Factorise ``f`` in place across ``n_procs`` OS processes.
+    """Factorise ``f`` in place across ``n_procs`` ranks.
 
     Tasks and block storage follow the pure 2D block-cyclic owner rule
     (the load balancer is not applied here: migrating a task away from
     its block's owner would require remote writes, which the message
     protocol — like PanguLU's — does not do for targets).
 
-    ``timeout`` bounds the wait for each rank's result; a dead or hung
-    rank (failure injection, OOM kill, …) terminates the remaining pool
-    and raises instead of hanging the caller.
+    ``transport`` selects the message substrate: the default
+    :class:`~repro.runtime.transports.MultiprocessingTransport` (one OS
+    process per rank) or a
+    :class:`~repro.runtime.transports.LoopbackTransport` (threads in this
+    process, deterministic, fault-injectable).  ``timeout`` bounds the
+    wait for each rank's result; a dead or hung rank (failure injection,
+    OOM kill, …) terminates the remaining pool and raises instead of
+    hanging the caller.  Pass a ``recorder`` to collect per-rank task and
+    message send/recv events from the real run (merged into it on
+    success) for Chrome-trace export.
     """
-    import queue as queue_mod
-
     options = options or NumericOptions()
     if n_procs < 1:
         raise ValueError("need at least one process")
@@ -238,73 +297,63 @@ def factorize_distributed(
     ]
     successors = [t.successors for t in dag.tasks]
 
-    ctx = mp.get_context("fork")
-    inboxes = [ctx.Queue() for _ in range(n_procs)]
-    result_q = ctx.Queue()
-
     owned_per_rank: list[list[tuple[int, int, CSCMatrix]]] = [
         [] for _ in range(n_procs)
     ]
     for (bi, bj), rank in owner_of_block.items():
         owned_per_rank[rank].append((bi, bj, f.block(bi, bj)))
 
-    procs = []
-    for rank in range(n_procs):
-        p = ctx.Process(
-            target=_worker_main,
-            args=(
-                rank, f.nb, f.bs, f.n, owned_per_rank[rank], tasks,
-                successors, owner_of_task, options.pivot_floor,
-                options.use_plans, options.plan_entry_limit,
-                inboxes, result_q,
-            ),
-            daemon=True,
-        )
-        p.start()
-        procs.append(p)
+    transport = transport or MultiprocessingTransport()
 
-    tasks_per_proc = [0] * n_procs
-    messages = 0
-    total_bytes = 0.0
+    def args_of_rank(rank: int) -> tuple:
+        return (
+            f.nb, f.bs, f.n, owned_per_rank[rank], tasks, successors,
+            owner_of_task, options.pivot_floor, options.use_plans,
+            options.plan_entry_limit, recorder is not None,
+        )
+
+    transport.start(n_procs, _worker_main, args_of_rank)
+
+    stats = DistributedStats(
+        n_procs=n_procs,
+        tasks_per_proc=[0] * n_procs,
+        messages_sent=0,
+        block_bytes_sent=0.0,
+    )
     errors: list[str] = []
     for _ in range(n_procs):
         try:
-            msg = result_q.get(timeout=timeout)
-        except queue_mod.Empty:
-            for p in procs:
-                if p.is_alive():
-                    p.terminate()
-            dead = [r for r, p in enumerate(procs) if not p.is_alive()]
+            msg = transport.get_result(timeout)
+        except TransportTimeout as exc:
+            transport.terminate()
+            transport.join(timeout=5)
             raise RuntimeError(
                 f"distributed factorisation timed out after {timeout}s "
-                f"(ranks no longer alive: {dead}) — worker crash or deadlock"
+                f"(ranks no longer alive: {exc.dead_ranks}) — "
+                "worker crash or deadlock"
             ) from None
         if msg[0] == "error":
             # a failed rank can no longer feed its consumers, so the rest
             # of the pool would block forever on their inboxes — tear the
             # whole pool down immediately and surface the failure
             errors.append(f"rank {msg[1]}: {msg[2]}")
-            for p in procs:
-                if p.is_alive():
-                    p.terminate()
+            transport.terminate()
             break
-        _, rank, ntasks, sent, nbytes, blocks = msg
-        tasks_per_proc[rank] = ntasks
-        messages += sent
-        total_bytes += nbytes
+        (_, rank, ntasks, sent, nbytes, blocks,
+         choices, pivots, planned, rank_recorder) = msg
+        stats.tasks_per_proc[rank] = ntasks
+        stats.messages_sent += sent
+        stats.block_bytes_sent += nbytes
+        stats.kernel_choices.update(choices)
+        stats.pivots_replaced += pivots
+        stats.planned_tasks += planned
+        if recorder is not None and rank_recorder is not None:
+            recorder.merge(rank_recorder)
         for bi, bj, _indptr, _indices, data in blocks:
             if owner_of_block.get((bi, bj)) != rank:
                 continue  # received operand copy, not authoritative
             f.block(bi, bj).data[...] = data
-    for p in procs:
-        p.join(timeout=30)
-        if p.is_alive():  # pragma: no cover - stuck feeder safety net
-            p.terminate()
+    transport.join(timeout=30)
     if errors:
         raise RuntimeError("; ".join(errors))
-    return DistributedStats(
-        n_procs=n_procs,
-        tasks_per_proc=tasks_per_proc,
-        messages_sent=messages,
-        block_bytes_sent=total_bytes,
-    )
+    return stats

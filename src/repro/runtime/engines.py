@@ -1,0 +1,104 @@
+"""Execution-engine registry.
+
+One engine = one way of draining the task DAG through the shared
+:class:`~repro.runtime.scheduler.SchedulerCore`.  The registry maps the
+``SolverOptions.engine`` string to a callable with the uniform signature
+
+``engine(blocks, dag, solver_options, *, recorder=None) -> FactorizeStats``
+
+so the :class:`~repro.core.solver.PanguLU` facade (and the CLI's
+``--engine`` flag) dispatch by name instead of special-casing worker
+counts.  A future engine — async, sharded, multi-backend — is a
+transport plus one :func:`register_engine` call.
+
+Built-ins:
+
+========== ==========================================================
+name        substrate
+========== ==========================================================
+sequential  one thread, one core (the correctness reference)
+threaded    ``options.n_workers`` threads sharing one core
+distributed ``options.nprocs`` ranks over a message transport
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..core.numeric import FactorizeStats, factorize
+from .distributed import factorize_distributed
+from .scheduler import EventRecorder
+from .threaded import factorize_threaded
+
+__all__ = ["register_engine", "get_engine", "available_engines"]
+
+_ENGINES: dict[str, Callable] = {}
+
+
+def register_engine(name: str) -> Callable[[Callable], Callable]:
+    """Decorator registering an engine under ``name`` (last wins)."""
+
+    def deco(fn: Callable) -> Callable:
+        _ENGINES[name] = fn
+        return fn
+
+    return deco
+
+
+def get_engine(name: str) -> Callable:
+    """The engine registered under ``name``; raises with the list of
+    known names on a miss."""
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; available: {available_engines()}"
+        ) from None
+
+
+def available_engines() -> list[str]:
+    """Sorted names of all registered engines."""
+    return sorted(_ENGINES)
+
+
+@register_engine("sequential")
+def _sequential(
+    f, dag, options, *, recorder: EventRecorder | None = None
+) -> FactorizeStats:
+    return factorize(f, dag, options.numeric, recorder=recorder)
+
+
+@register_engine("threaded")
+def _threaded(
+    f, dag, options, *, recorder: EventRecorder | None = None
+) -> FactorizeStats:
+    tstats = factorize_threaded(
+        f, dag, options.numeric,
+        n_workers=max(1, options.n_workers), recorder=recorder,
+    )
+    return FactorizeStats(
+        kernel_choices=tstats.kernel_choices,
+        tasks_executed=tstats.tasks_executed,
+        flops_total=dag.total_flops,
+        pivots_replaced=tstats.pivots_replaced,
+        planned_tasks=tstats.planned_tasks,
+        plan_bytes=tstats.plan_bytes,
+    )
+
+
+@register_engine("distributed")
+def _distributed(
+    f, dag, options, *, recorder: EventRecorder | None = None
+) -> FactorizeStats:
+    dstats = factorize_distributed(
+        f, dag, max(1, options.nprocs),
+        options=options.numeric, recorder=recorder,
+    )
+    return FactorizeStats(
+        kernel_choices=dstats.kernel_choices,
+        tasks_executed=sum(dstats.tasks_per_proc),
+        flops_total=dag.total_flops,
+        pivots_replaced=dstats.pivots_replaced,
+        planned_tasks=dstats.planned_tasks,
+    )

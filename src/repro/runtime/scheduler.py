@@ -1,0 +1,329 @@
+"""Shared scheduler core: the Section 4.4 discipline, implemented once.
+
+PanguLU's synchronisation-free protocol is a small state machine — a
+dependency counter per task, a priority heap of ready tasks, counter
+decrements on completion, a deadlock check at the end — that every real
+engine must run.  Before this module existed it was re-implemented in the
+sequential driver, the threaded executor and each distributed rank;
+:class:`SchedulerCore` is the single copy all three now consume:
+
+* the **sequential** engine (:func:`repro.core.numeric.factorize`) drains
+  one core to exhaustion;
+* the **threaded** engine (:func:`repro.runtime.threaded`) shares one
+  core between workers, guarding ``pop``/``complete`` with its condition
+  lock (the core itself is lock-free — synchronisation policy stays in
+  the engine, protocol lives here);
+* each **distributed** rank (:mod:`repro.runtime.distributed`) owns a
+  core restricted to its own tasks (``owned=...``); completions of remote
+  predecessors arrive as messages and are fed to the same
+  :meth:`SchedulerCore.complete`.
+
+The core also hosts the structured :class:`EventRecorder` — task
+start/end, message send/recv, ready-queue depth — which
+:mod:`repro.runtime.trace` serialises into Chrome/Perfetto traces of
+*real* runs (not only simulated schedules).
+
+This module deliberately imports nothing from :mod:`repro` so the
+``core`` layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "ready_entry",
+    "SchedulerCore",
+    "WorkerLocal",
+    "EventRecorder",
+    "TaskEvent",
+    "MessageEvent",
+    "DepthEvent",
+]
+
+
+def ready_entry(task, tid: int) -> tuple[int, int, int]:
+    """Ready-heap priority of a task: earliest elimination step first,
+    then kernel class, then id — the Section 4.4 "most critical task"
+    ordering shared by every engine."""
+    return (task.k, int(task.ttype), tid)
+
+
+# ----------------------------------------------------------------------
+# structured event recording
+# ----------------------------------------------------------------------
+
+@dataclass
+class TaskEvent:
+    """One executed task: which lane ran it, when, and what it was."""
+
+    worker: int
+    name: str
+    cat: str
+    t0: float
+    t1: float
+    tid: int = -1
+
+
+@dataclass
+class MessageEvent:
+    """One message endpoint crossing: a ``"send"`` or a ``"recv"``.
+
+    ``rank`` is the recording side, ``peer`` the other side, ``tid`` the
+    producing task (the flow-event correlation key).
+    """
+
+    kind: str
+    rank: int
+    peer: int
+    tid: int
+    nbytes: int
+    t: float
+
+
+@dataclass
+class DepthEvent:
+    """Ready-queue depth sample (one heap per ``lane``)."""
+
+    lane: int
+    depth: int
+    t: float
+
+
+class EventRecorder:
+    """Accumulates scheduler events from a real run.
+
+    Timestamps are raw ``time.perf_counter()`` readings; they are
+    comparable across worker threads and across ``fork``-spawned ranks
+    (both share the system monotonic clock), and
+    :func:`repro.runtime.trace.recorder_to_chrome_trace` rebases them to
+    the earliest event.  Recorders are picklable so distributed ranks can
+    ship theirs back to the master, which :meth:`merge`\\ s them.
+    """
+
+    def __init__(self) -> None:
+        self.task_events: list[TaskEvent] = []
+        self.message_events: list[MessageEvent] = []
+        self.depth_events: list[DepthEvent] = []
+
+    @staticmethod
+    def now() -> float:
+        return time.perf_counter()
+
+    def task(
+        self, worker: int, name: str, cat: str, t0: float, t1: float, tid: int = -1
+    ) -> None:
+        self.task_events.append(TaskEvent(worker, name, cat, t0, t1, tid))
+
+    def send(self, rank: int, dst: int, tid: int, nbytes: int) -> None:
+        self.message_events.append(
+            MessageEvent("send", rank, dst, tid, nbytes, self.now())
+        )
+
+    def recv(self, rank: int, src: int, tid: int, nbytes: int = 0) -> None:
+        self.message_events.append(
+            MessageEvent("recv", rank, src, tid, nbytes, self.now())
+        )
+
+    def depth(self, lane: int, depth: int) -> None:
+        self.depth_events.append(DepthEvent(lane, depth, self.now()))
+
+    def merge(self, other: EventRecorder) -> None:
+        """Fold another recorder (e.g. a rank's) into this one."""
+        self.task_events.extend(other.task_events)
+        self.message_events.extend(other.message_events)
+        self.depth_events.extend(other.depth_events)
+
+    def __len__(self) -> int:
+        return (
+            len(self.task_events)
+            + len(self.message_events)
+            + len(self.depth_events)
+        )
+
+    def __bool__(self) -> bool:
+        # an *empty* recorder is still an armed recorder — engines test
+        # truthiness on the hot path, which must not flip after the first
+        # event lands
+        return True
+
+
+# ----------------------------------------------------------------------
+# per-worker statistics
+# ----------------------------------------------------------------------
+
+@dataclass
+class WorkerLocal:
+    """Lock-free per-worker accounting, merged once at worker exit.
+
+    Engines accumulate into one of these outside any lock and call
+    :meth:`merge_into` exactly once (under the engine's lock for the
+    threaded case) — the low-contention stat pattern every engine shares.
+    """
+
+    choices: dict[int, str] = field(default_factory=dict)
+    executed: int = 0
+    pivots_replaced: int = 0
+    planned_tasks: int = 0
+
+    def count(self, tid: int, label: str, replaced: int, planned: bool) -> None:
+        self.choices[tid] = label
+        self.executed += 1
+        self.pivots_replaced += replaced
+        self.planned_tasks += int(planned)
+
+    def merge_into(self, stats) -> None:
+        """Add this worker's tallies to a stats object exposing
+        ``kernel_choices`` / ``tasks_executed`` / ``pivots_replaced`` /
+        ``planned_tasks``."""
+        stats.kernel_choices.update(self.choices)
+        stats.tasks_executed += self.executed
+        stats.pivots_replaced += self.pivots_replaced
+        stats.planned_tasks += self.planned_tasks
+
+
+# ----------------------------------------------------------------------
+# the counter / ready-heap / completion core
+# ----------------------------------------------------------------------
+
+class SchedulerCore:
+    """Dependency counters + priority ready-heap of one engine run.
+
+    Parameters
+    ----------
+    entries:
+        Precomputed heap entry per task id (see :func:`ready_entry`) —
+        computed once so pushes are O(log n) with no attribute chasing.
+    successors:
+        Global adjacency, one ``int64`` array per task id.
+    n_deps:
+        Global in-degrees (consumed as a copy).
+    owned:
+        Task ids this instance schedules (a distributed rank's share);
+        ``None`` means all tasks.  Completions of non-owned tasks may
+        still be fed to :meth:`complete` — they decrement owned
+        successors without counting toward ``remaining`` (the Fig. 10
+        step 3b receive path).
+    recorder:
+        Optional :class:`EventRecorder`; the core samples ready-queue
+        depth into it, engines add task/message events.
+    lane:
+        Recorder lane for the depth samples (a rank id; 0 for the
+        in-process engines, whose heap is global).
+
+    The core performs **no locking**: the sequential engine needs none,
+    the threaded engine guards calls with its condition lock, each
+    distributed rank has a private core.
+    """
+
+    __slots__ = (
+        "entries", "successors", "counters", "ready", "owned_mask",
+        "remaining", "n_owned", "executed", "max_ready_depth",
+        "recorder", "lane",
+    )
+
+    def __init__(
+        self,
+        entries: list[tuple[int, int, int]],
+        successors: list[np.ndarray],
+        n_deps: np.ndarray,
+        *,
+        owned=None,
+        recorder: EventRecorder | None = None,
+        lane: int = 0,
+    ) -> None:
+        n = len(entries)
+        self.entries = entries
+        self.successors = successors
+        self.counters = np.asarray(n_deps, dtype=np.int64).copy()
+        self.recorder = recorder
+        self.lane = lane
+        if owned is None:
+            self.owned_mask = None
+            self.n_owned = n
+            roots = np.flatnonzero(self.counters == 0)
+        else:
+            mask = np.zeros(n, dtype=bool)
+            owned = np.asarray(list(owned), dtype=np.int64)
+            mask[owned] = True
+            self.owned_mask = mask
+            self.n_owned = int(owned.size)
+            roots = owned[self.counters[owned] == 0]
+        self.remaining = self.n_owned
+        self.executed = 0
+        self.ready: list[tuple[int, int, int]] = [
+            entries[int(t)] for t in roots
+        ]
+        heapq.heapify(self.ready)
+        self.max_ready_depth = len(self.ready)
+
+    @classmethod
+    def from_dag(
+        cls,
+        dag,
+        *,
+        owned=None,
+        recorder: EventRecorder | None = None,
+        lane: int = 0,
+    ) -> SchedulerCore:
+        """Build a core from a :class:`repro.core.dag.TaskDAG` (duck-typed
+        — anything with ``tasks`` carrying ``k``/``ttype``/``tid``/
+        ``successors``/``n_deps`` works)."""
+        tasks = dag.tasks
+        entries = [ready_entry(t, t.tid) for t in tasks]
+        successors = [np.asarray(t.successors, dtype=np.int64) for t in tasks]
+        n_deps = np.asarray([t.n_deps for t in tasks], dtype=np.int64)
+        return cls(entries, successors, n_deps,
+                   owned=owned, recorder=recorder, lane=lane)
+
+    # -- scheduling ----------------------------------------------------
+    def done(self) -> bool:
+        """All owned tasks completed."""
+        return self.remaining <= 0
+
+    def pop(self) -> int | None:
+        """Highest-priority ready task id, or ``None`` if none is ready
+        (distinguish from :meth:`done`: work may be in flight)."""
+        if not self.ready:
+            return None
+        if len(self.ready) > self.max_ready_depth:
+            self.max_ready_depth = len(self.ready)
+        return heapq.heappop(self.ready)[2]
+
+    def complete(self, tid: int) -> int:
+        """Record completion of ``tid`` and release its successors.
+
+        The vectorised decrement: all (owned) successors of ``tid`` drop
+        by one in a single fancy-indexed operation, and those reaching
+        zero are pushed onto the ready heap.  Returns the number of newly
+        ready tasks (the threaded engine's ``notify(n)`` count).  ``tid``
+        may be a *non-owned* predecessor (a received message) — it then
+        releases owned successors without counting as local work.
+        """
+        if self.owned_mask is None or self.owned_mask[tid]:
+            self.executed += 1
+            self.remaining -= 1
+        succ = self.successors[tid]
+        if self.owned_mask is not None and succ.size:
+            succ = succ[self.owned_mask[succ]]
+        newly = 0
+        if succ.size:
+            self.counters[succ] -= 1
+            for s in succ[self.counters[succ] == 0]:
+                heapq.heappush(self.ready, self.entries[s])
+                newly += 1
+        if self.recorder is not None:
+            self.recorder.depth(self.lane, len(self.ready))
+        return newly
+
+    def check(self, engine: str = "scheduler") -> None:
+        """Deadlock check: every owned task must have executed."""
+        if self.executed != self.n_owned:
+            raise RuntimeError(
+                f"{engine} deadlock: executed {self.executed} of "
+                f"{self.n_owned} tasks (dependency counters inconsistent)"
+            )

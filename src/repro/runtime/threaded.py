@@ -9,13 +9,15 @@ overlap; per-target-block locks serialise concurrent SSSSM updates into
 the same block (in the distributed setting the block's owner process does
 this serialisation implicitly).
 
-The global condition lock is held only for queue pops and completion
-bookkeeping: feature extraction and kernel selection run outside it,
-dependency counters are decremented in one vectorised operation, heap
-entries are precomputed, per-worker statistics merge once at exit, and
-waiters are woken one-per-new-task (``notify(n)``) instead of
-``notify_all`` — so workers actually overlap during the vectorised
-kernels instead of convoying on the lock.
+The counter/heap/completion protocol itself lives in the shared
+:class:`~repro.runtime.scheduler.SchedulerCore`; this engine only adds
+the threading policy around it.  The global condition lock is held only
+for queue pops and completion bookkeeping: feature extraction and kernel
+selection run outside it, dependency counters are decremented in one
+vectorised operation, heap entries are precomputed, per-worker statistics
+merge once at exit, and waiters are woken one-per-new-task
+(``notify(n)``) instead of ``notify_all`` — so workers actually overlap
+during the vectorised kernels instead of convoying on the lock.
 
 Used by the tests to prove the protocol is deadlock-free and produces the
 same factors as sequential execution, and by the quickstart example as a
@@ -24,11 +26,9 @@ same factors as sequential execution, and by the quickstart example as a
 
 from __future__ import annotations
 
-import heapq
 import threading
+import time
 from dataclasses import dataclass, field
-
-import numpy as np
 
 from ..core.blocking import BlockMatrix
 from ..core.dag import TaskDAG
@@ -36,11 +36,11 @@ from ..core.numeric import (
     _TTYPE_TO_KTYPE,
     NumericOptions,
     execute_task,
-    ready_entry,
     resolve_plan_cache,
     task_features,
 )
 from ..kernels.base import Workspace
+from .scheduler import EventRecorder, SchedulerCore, WorkerLocal
 
 __all__ = ["ThreadedStats", "factorize_threaded"]
 
@@ -64,54 +64,45 @@ def factorize_threaded(
     options: NumericOptions | None = None,
     *,
     n_workers: int = 4,
+    recorder: EventRecorder | None = None,
 ) -> ThreadedStats:
     """Factorise the blocked matrix in place with ``n_workers`` threads.
 
     Raises the first kernel exception encountered (after quiescing the
     pool).  The result is numerically equivalent to sequential execution
-    up to floating-point reassociation of commuting Schur updates.
+    up to floating-point reassociation of commuting Schur updates.  Pass
+    an :class:`~repro.runtime.scheduler.EventRecorder` to capture
+    per-worker task events and ready-depth samples for Chrome-trace
+    export of the real run.
     """
     options = options or NumericOptions()
     if n_workers < 1:
         raise ValueError("need at least one worker")
     n = len(dag.tasks)
-    counters = dag.dep_counts()
     stats = ThreadedStats(n_workers=n_workers)
     plans = resolve_plan_cache(f, options)
 
     lock = threading.Lock()
     cond = threading.Condition(lock)
-    # heap entries precomputed once so pushes inside the lock are O(log n)
-    # with no attribute chasing
-    entries = [ready_entry(t, t.tid) for t in dag.tasks]
-    succs = [np.asarray(t.successors, dtype=np.int64) for t in dag.tasks]
-    ready: list[tuple[int, int, int]] = [entries[tid] for tid in dag.roots()]
-    heapq.heapify(ready)
-    remaining = n
+    core = SchedulerCore.from_dag(dag, recorder=recorder)
     errors: list[BaseException] = []
 
     # one lock per stored block serialises concurrent updates to a target
     block_locks = [threading.Lock() for _ in f.blk_values]
 
-    def worker() -> None:
-        nonlocal remaining
+    def worker(wid: int) -> None:
         ws = Workspace()
         ws.presize(f.bs)
-        local_choices: dict[int, str] = {}
-        local_executed = 0
-        local_pivots = 0
-        local_planned = 0
-        local_depth = 0
+        local = WorkerLocal()
         try:
             while True:
                 with cond:
-                    while not ready and remaining > 0 and not errors:
+                    tid = core.pop()
+                    while tid is None and not core.done() and not errors:
                         cond.wait()
-                    if errors or remaining <= 0:
+                        tid = core.pop()
+                    if errors or tid is None:
                         return
-                    if len(ready) > local_depth:
-                        local_depth = len(ready)
-                    _, _, tid = heapq.heappop(ready)
                 task = dag.tasks[tid]
                 try:
                     # feature extraction and version selection run
@@ -121,49 +112,45 @@ def factorize_threaded(
                     ktype = _TTYPE_TO_KTYPE[task.ttype]
                     version = options.selector.select(ktype, feats)
                     slot = f.block_slot(task.bi, task.bj)
+                    t0 = time.perf_counter() if recorder else 0.0
                     with block_locks[slot]:
                         replaced, planned = execute_task(
                             f, task, version, ws,
                             pivot_floor=options.pivot_floor, plans=plans,
+                        )
+                    if recorder:
+                        recorder.task(
+                            wid,
+                            f"{task.ttype.name}(k={task.k},{task.bi},{task.bj})",
+                            task.ttype.name, t0, time.perf_counter(), tid,
                         )
                 except BaseException as exc:  # propagate to the caller
                     with cond:
                         errors.append(exc)
                         cond.notify_all()
                     return
-                local_choices[tid] = f"{ktype.value}/{version}"
-                local_executed += 1
-                local_pivots += replaced
-                local_planned += planned
-                succ = succs[tid]
+                local.count(tid, f"{ktype.value}/{version}", replaced, planned)
                 with cond:
-                    newly_ready = 0
-                    if succ.size:
-                        counters[succ] -= 1
-                        for s in succ[counters[succ] == 0]:
-                            heapq.heappush(ready, entries[s])
-                            newly_ready += 1
-                    remaining -= 1
-                    if remaining <= 0:
+                    newly_ready = core.complete(tid)
+                    if core.done():
                         cond.notify_all()
                     elif newly_ready:
                         cond.notify(newly_ready)
         finally:
             with cond:
-                stats.kernel_choices.update(local_choices)
-                stats.tasks_executed += local_executed
-                stats.pivots_replaced += local_pivots
-                stats.planned_tasks += local_planned
-                if local_depth > stats.max_ready_depth:
-                    stats.max_ready_depth = local_depth
+                local.merge_into(stats)
 
-    threads = [threading.Thread(target=worker, daemon=True) for _ in range(n_workers)]
+    threads = [
+        threading.Thread(target=worker, args=(wid,), daemon=True)
+        for wid in range(n_workers)
+    ]
     for th in threads:
         th.start()
     for th in threads:
         th.join()
     if errors:
         raise errors[0]
+    stats.max_ready_depth = core.max_ready_depth
     if stats.tasks_executed != n:
         raise RuntimeError(
             f"threaded deadlock: executed {stats.tasks_executed} of {n} tasks"

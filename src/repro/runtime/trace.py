@@ -1,10 +1,14 @@
-"""Chrome-tracing export of simulated schedules.
+"""Chrome-tracing export of simulated schedules and real runs.
 
-Serialises a :class:`~repro.runtime.simulator.SimResult` into the Trace
-Event Format consumed by ``chrome://tracing`` / Perfetto — one lane per
-simulated process, one complete event per task, message arrows as flow
-events.  Lets the simulated 128-process schedules be inspected with the
-same tooling used for real profiler captures.
+Serialises both a :class:`~repro.runtime.simulator.SimResult` *and* the
+structured events recorded from a real threaded or distributed run
+(:class:`~repro.runtime.scheduler.EventRecorder`) into the Trace Event
+Format consumed by ``chrome://tracing`` / Perfetto — one lane per
+process/worker/rank, one complete event per task, message arrows as flow
+events (``ph: "s"`` at the sender, ``ph: "f"`` at the receiver), and
+ready-queue depth as counter tracks.  Lets the simulated 128-process
+schedules and the actually-executed runs be inspected with the same
+tooling used for real profiler captures.
 """
 
 from __future__ import annotations
@@ -14,9 +18,27 @@ from pathlib import Path
 
 import numpy as np
 
+from .scheduler import EventRecorder
 from .simulator import SimResult
 
-__all__ = ["to_chrome_trace", "write_chrome_trace"]
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "recorder_to_chrome_trace",
+    "write_recorder_trace",
+]
+
+
+def _flow_pair(
+    flow_id: int, name: str, ts_send: float, lane_send: int,
+    ts_recv: float, lane_recv: int,
+) -> list[dict]:
+    """A matched ``s``/``f`` flow-event pair (times in microseconds)."""
+    common = {"name": name, "cat": "message", "id": flow_id, "pid": 0}
+    return [
+        {**common, "ph": "s", "ts": ts_send, "tid": lane_send},
+        {**common, "ph": "f", "bp": "e", "ts": ts_recv, "tid": lane_recv},
+    ]
 
 
 def to_chrome_trace(
@@ -25,6 +47,7 @@ def to_chrome_trace(
     *,
     names: list[str] | None = None,
     categories: list[str] | None = None,
+    successors: list[list[int]] | None = None,
 ) -> list[dict]:
     """Build the Trace Event list for a simulation result.
 
@@ -39,6 +62,11 @@ def to_chrome_trace(
     categories:
         Optional category string per task (e.g. the kernel type) —
         Chrome tracing colours events by category.
+    successors:
+        Optional DAG adjacency; when given, every cross-process edge
+        becomes a flow-event arrow (``ph: "s"`` at the producer's end
+        time, ``ph: "f"`` at the consumer's start) — the simulated
+        message traffic, drawn the way Perfetto draws real async edges.
     """
     n = len(owner)
     events: list[dict] = []
@@ -56,6 +84,23 @@ def to_chrome_trace(
                 "tid": int(owner[tid]),
             }
         )
+    if successors is not None:
+        flow_id = 0
+        for tid in range(n):
+            src = int(owner[tid])
+            for s in successors[tid]:
+                dst = int(owner[s])
+                if dst == src:
+                    continue  # local dependency, no message
+                events.extend(
+                    _flow_pair(
+                        flow_id,
+                        f"msg:{names[tid] if names else f'task{tid}'}",
+                        float(result.end_times[tid]) * 1e6, src,
+                        float(result.start_times[s]) * 1e6, dst,
+                    )
+                )
+                flow_id += 1
     events.append(
         {
             "name": "makespan",
@@ -76,7 +121,92 @@ def write_chrome_trace(
     *,
     names: list[str] | None = None,
     categories: list[str] | None = None,
+    successors: list[list[int]] | None = None,
 ) -> None:
     """Write the trace as JSON; open the file in ``chrome://tracing``."""
-    events = to_chrome_trace(result, owner, names=names, categories=categories)
+    events = to_chrome_trace(
+        result, owner, names=names, categories=categories, successors=successors
+    )
+    Path(path).write_text(json.dumps({"traceEvents": events}))
+
+
+def recorder_to_chrome_trace(recorder: EventRecorder) -> list[dict]:
+    """Trace Event list from a *real* run's recorded events.
+
+    Task events become complete (``X``) slices on per-worker/per-rank
+    lanes, matched message send/recv pairs become flow arrows, unmatched
+    sends (dropped or still in flight at teardown) become instants, and
+    ready-queue depth becomes a counter track per scheduling lane.  All
+    timestamps are rebased to the earliest recorded event.
+    """
+    times = (
+        [e.t0 for e in recorder.task_events]
+        + [e.t for e in recorder.message_events]
+        + [e.t for e in recorder.depth_events]
+    )
+    base = min(times) if times else 0.0
+    us = lambda t: (t - base) * 1e6  # noqa: E731
+    events: list[dict] = []
+    for e in recorder.task_events:
+        events.append(
+            {
+                "name": e.name,
+                "cat": e.cat,
+                "ph": "X",
+                "ts": us(e.t0),
+                "dur": max((e.t1 - e.t0) * 1e6, 0.001),
+                "pid": 0,
+                "tid": e.worker,
+                "args": {"tid": e.tid},
+            }
+        )
+    # pair sends with their receives: one producing task fans out to
+    # possibly many ranks, so key on (producer task, destination rank)
+    recvs = {
+        (e.tid, e.rank): e
+        for e in recorder.message_events
+        if e.kind == "recv"
+    }
+    flow_id = 0
+    for e in recorder.message_events:
+        if e.kind != "send":
+            continue
+        got = recvs.get((e.tid, e.peer))
+        if got is not None:
+            events.extend(
+                _flow_pair(
+                    flow_id, f"msg:task{e.tid}",
+                    us(e.t), e.rank, us(got.t), got.rank,
+                )
+            )
+            flow_id += 1
+        else:  # dropped / in-flight at teardown: still show the attempt
+            events.append(
+                {
+                    "name": f"msg:task{e.tid} (unreceived)",
+                    "cat": "message",
+                    "ph": "I",
+                    "ts": us(e.t),
+                    "pid": 0,
+                    "tid": e.rank,
+                    "s": "t",
+                }
+            )
+    for e in recorder.depth_events:
+        events.append(
+            {
+                "name": f"ready[{e.lane}]",
+                "ph": "C",
+                "ts": us(e.t),
+                "pid": 0,
+                "tid": e.lane,
+                "args": {"depth": e.depth},
+            }
+        )
+    return events
+
+
+def write_recorder_trace(path: str | Path, recorder: EventRecorder) -> None:
+    """Write a real run's recorded events as Chrome-trace JSON."""
+    events = recorder_to_chrome_trace(recorder)
     Path(path).write_text(json.dumps({"traceEvents": events}))

@@ -113,3 +113,41 @@ class TestSimulateTrace:
 
         data = json.loads(out.read_text())
         assert len(data["traceEvents"]) > 1
+        # simulated message edges appear as flow-event arrows
+        phases = {e["ph"] for e in data["traceEvents"]}
+        assert {"s", "f"} <= phases
+
+
+class TestEngineFlag:
+    @pytest.mark.parametrize("engine", ["sequential", "threaded", "distributed"])
+    def test_engine_selected(self, engine, capsys):
+        rc = main(["solve", "ecology1", "--scale", "0.12",
+                   "--engine", engine, "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"engine = {engine}" in out
+        assert "relative residual" in out
+
+    def test_real_run_trace_written(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "real.json"
+        rc = main(["solve", "ecology1", "--scale", "0.12",
+                   "--engine", "threaded", "--workers", "2",
+                   "--trace", str(out)])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        tasks = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert tasks and all("dur" in e for e in tasks)
+
+    def test_distributed_trace_has_flow_events(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "dist.json"
+        rc = main(["solve", "ecology1", "--scale", "0.12",
+                   "--engine", "distributed", "--workers", "2",
+                   "--trace", str(out)])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        phases = {e["ph"] for e in data["traceEvents"]}
+        assert {"X", "s", "f"} <= phases
