@@ -3,8 +3,15 @@
 check:
 	sh scripts/check.sh
 
+# the project-specific AST lint needs only the stdlib, so it always runs;
+# ruff adds the generic rules wherever it is installed
 lint:
-	ruff check src tests benchmarks examples
+	PYTHONPATH=src python -m repro.devtools.lint src
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; generic lint skipped"; \
+	fi
 
 test:
 	PYTHONPATH=src python -m pytest -x -q

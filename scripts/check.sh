@@ -1,15 +1,19 @@
 #!/bin/sh
-# Repo-wide check: lint (when ruff is available) + the tier-1 test suite.
-# This is what CI and `make check` run; keep it in sync with ROADMAP.md.
+# Repo-wide check: project lint (always) + ruff (when available) + the
+# tier-1 test suite.  This is what CI and `make check` run; keep it in
+# sync with ROADMAP.md.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "== repro.devtools.lint (project rules) =="
+PYTHONPATH=src python -m repro.devtools.lint src
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff check =="
     ruff check src tests benchmarks examples
 else
-    echo "== ruff not installed; skipping lint =="
+    echo "== ruff not installed; skipping generic lint =="
 fi
 
 echo "== tier-1 tests =="

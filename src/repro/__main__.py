@@ -46,6 +46,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             nprocs=max(1, args.workers) if args.engine == "distributed" else 1,
             engine=args.engine,
             trace_events=bool(args.trace),
+            validate_concurrency=bool(args.check),
         )
     )
     rng = np.random.default_rng(0)
@@ -171,6 +172,10 @@ def main(argv: list[str] | None = None) -> int:
                         "--workers > 1, else sequential)")
     p.add_argument("--trace", help="write a chrome://tracing JSON of the real "
                                    "numeric run to this path")
+    p.add_argument("--check", action="store_true",
+                   help="run the numeric phase under the concurrency "
+                        "invariant checker (repro.devtools.racecheck); "
+                        "equivalent to setting REPRO_CHECK=1")
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("info", help="matrix statistics")

@@ -277,6 +277,7 @@ def factorize(
     *,
     collect_timings: bool = False,
     recorder: EventRecorder | None = None,
+    checker=None,
 ) -> FactorizeStats:
     """Factorise the blocked matrix in place by replaying the DAG.
 
@@ -285,13 +286,19 @@ def factorize(
     first, which keeps the critical path moving (the paper: "each
     process always selects the most critical of the tasks to be
     computed").  Pass an :class:`~repro.runtime.scheduler.EventRecorder`
-    to capture task/ready-depth events for Chrome-trace export.
+    to capture task/ready-depth events for Chrome-trace export, or a
+    :class:`~repro.devtools.racecheck.RaceChecker` (``checker``) to
+    audit the counter protocol as it runs.
     """
     options = options or NumericOptions()
     stats = FactorizeStats()
     ws = Workspace()
     plans = resolve_plan_cache(f, options)
     core = SchedulerCore.from_dag(dag, recorder=recorder)
+    if checker is not None:
+        from ..devtools.racecheck import CheckedSchedulerCore
+
+        core = CheckedSchedulerCore.adopt(core, checker)
     local = WorkerLocal()
 
     t_start = time.perf_counter()
@@ -325,4 +332,6 @@ def factorize(
     if plans is not None:
         stats.plan_bytes = plans.nbytes
     core.check("sequential")
+    if checker is not None:
+        checker.final_check(core)
     return stats

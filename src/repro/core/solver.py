@@ -108,6 +108,15 @@ class SolverOptions:
         pivoting (MC64 + GESP pivot replacement) trades factorisation-time
         stability for a possibly larger residual; a few cheap refinement
         steps recover it — the same recipe SuperLU_DIST applies.
+    validate_concurrency:
+        Run the numeric phase under the
+        :mod:`repro.devtools.racecheck` invariant checker: single writer
+        per block slot, exactly-once task completion, no ready-heap
+        re-issue, nothing dropped.  A violation raises
+        :class:`~repro.devtools.racecheck.ConcurrencyViolation` naming
+        the tasks and workers involved.  Also enabled globally by
+        setting the ``REPRO_CHECK`` environment variable to a non-zero
+        value.
     """
 
     ordering: str = "nd"
@@ -120,6 +129,7 @@ class SolverOptions:
     n_workers: int = 1
     engine: str | None = None
     trace_events: bool = False
+    validate_concurrency: bool = False
 
     def resolved_engine(self) -> str:
         """The engine name after applying the ``None`` default rule."""

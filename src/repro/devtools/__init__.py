@@ -1,0 +1,53 @@
+"""Correctness tooling for the synchronisation-free runtime.
+
+PanguLU's protocol (Section 5 of the paper) has no global barrier: every
+kernel completion decrements dependency counters, and a single unguarded
+mutation — or an in-place write to a block another rank still reads —
+silently corrupts the factors.  Generic linters cannot check those
+invariants, so this package encodes them directly:
+
+* :mod:`repro.devtools.astlint` — an AST static-analysis pass with
+  project-specific rules (lock discipline, counter protocol, kernel
+  purity, send-then-mutate, exception hygiene, message picklability).
+  Run it with ``python -m repro.devtools.lint src``.
+* :mod:`repro.devtools.racecheck` — an opt-in runtime race/invariant
+  detector (``SolverOptions.validate_concurrency`` or ``REPRO_CHECK=1``)
+  that tracks block-write ownership and the counter protocol during real
+  engine runs, reporting violations with task/worker provenance.
+
+See ``docs/devtools.md`` for the rule catalogue and the runtime mode.
+"""
+
+from .astlint import (
+    Finding,
+    Rule,
+    all_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+    render_json,
+    render_text,
+)
+from .racecheck import (
+    ConcurrencyViolation,
+    CheckedSchedulerCore,
+    RaceChecker,
+    validation_enabled,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_text",
+    "ConcurrencyViolation",
+    "CheckedSchedulerCore",
+    "RaceChecker",
+    "validation_enabled",
+]

@@ -1,0 +1,234 @@
+"""Project-specific AST static analysis.
+
+A deliberately small rule framework: each rule is an object with a
+``name``, a set of file patterns it applies to, and a ``check`` method
+that walks a parsed module and yields :class:`Finding`\\ s.  The rules
+themselves live in :mod:`repro.devtools.rules` and encode invariants of
+*this* codebase — the lock discipline of the threaded engine, the
+counter protocol of :class:`~repro.runtime.scheduler.SchedulerCore`,
+kernel purity, transport message hygiene — none of which a generic
+linter can know about.
+
+Suppression mirrors the familiar ``noqa`` convention, namespaced so it
+cannot collide with ruff's:
+
+* ``# repro: noqa[rule-name]`` at the end of a line suppresses that rule
+  on that line;
+* the same comment on a line of its own (a standalone comment)
+  suppresses the rule for the whole file;
+* ``# repro: noqa`` without brackets suppresses every rule at that scope.
+
+Run the pass with ``python -m repro.devtools.lint <paths>`` (text or
+JSON output) — it needs nothing outside the standard library, so it is
+the lint gate that runs even where ruff is not installed.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import json
+import re
+from collections.abc import Iterable, Sequence
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "render_text",
+    "render_json",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source position."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\- ]+)\])?")
+
+#: sentinel rule name meaning "every rule"
+_ALL = "*"
+
+
+class FileContext:
+    """Everything a rule needs about the file under analysis: its path
+    (posix, as given), raw source lines, and the parsed suppressions."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        # file-wide and per-line suppression sets of rule names (or _ALL)
+        self.file_suppressions: set[str] = set()
+        self.line_suppressions: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            m = _NOQA_RE.search(line)
+            if m is None:
+                continue
+            names = (
+                {n.strip() for n in m.group(1).split(",")}
+                if m.group(1)
+                else {_ALL}
+            )
+            if line.lstrip().startswith("#"):
+                self.file_suppressions |= names
+            else:
+                self.line_suppressions.setdefault(lineno, set()).update(names)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        if self.file_suppressions & {rule, _ALL}:
+            return True
+        return bool(self.line_suppressions.get(line, set()) & {rule, _ALL})
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` at ``node``'s position."""
+        return Finding(
+            rule,
+            self.path,
+            getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+            message,
+        )
+
+
+class Rule:
+    """Base class of a lint rule.
+
+    Subclasses set ``name`` (the kebab-case id used in reports and
+    suppressions), ``description`` (one line, shown by ``--list-rules``),
+    ``files``/``exclude`` (fnmatch patterns against the posix path; an
+    empty ``files`` means every Python file), and implement
+    :meth:`check`.
+    """
+
+    name: str = ""
+    description: str = ""
+    files: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        p = path.replace("\\", "/")
+        if any(fnmatch.fnmatch(p, pat) for pat in self.exclude):
+            return False
+        if not self.files:
+            return True
+        return any(fnmatch.fnmatch(p, pat) for pat in self.files)
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (instantiated once) to the registry."""
+    if not cls.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    _RULES[cls.name] = cls()
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """Name → rule instance for every registered rule (loads the rule
+    modules on first use)."""
+    from . import rules  # noqa: F401  (importing registers the rules)
+
+    return dict(_RULES)
+
+
+def _resolve(select: Sequence[str] | None) -> list[Rule]:
+    registry = all_rules()
+    if select is None:
+        return list(registry.values())
+    missing = [name for name in select if name not in registry]
+    if missing:
+        raise ValueError(
+            f"unknown rule(s) {missing}; known: {sorted(registry)}"
+        )
+    return [registry[name] for name in select]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Run ``rules`` (default: all registered, path filters applied)
+    over one source string.  Passing ``rules`` explicitly bypasses the
+    per-rule path filters — that is how the fixture tests drive a single
+    rule against a snippet living anywhere."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                "syntax-error", path, exc.lineno or 0, exc.offset or 0,
+                f"cannot parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path, source)
+    if rules is None:
+        rules = [r for r in all_rules().values() if r.applies_to(path)]
+    findings: list[Finding] = []
+    for rule in rules:
+        for f in rule.check(tree, ctx):
+            if not ctx.suppressed(f.rule, f.line):
+                findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Finding]:
+    p = Path(path)
+    return lint_source(p.read_text(), str(p), rules=rules)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint files and directory trees (``**/*.py``; deliberate-violation
+    fixtures under ``devtools_fixtures`` are skipped)."""
+    rules = _resolve(select)
+    findings: list[Finding] = []
+    for entry in paths:
+        entry = Path(entry)
+        files = sorted(entry.rglob("*.py")) if entry.is_dir() else [entry]
+        for file in files:
+            if "devtools_fixtures" in file.parts:
+                continue
+            applicable = [r for r in rules if r.applies_to(str(file))]
+            if applicable:
+                findings.extend(lint_file(file, rules=applicable))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    lines = [f.format() for f in findings]
+    lines.append(
+        f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps([asdict(f) for f in findings], indent=2)

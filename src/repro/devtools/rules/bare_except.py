@@ -1,0 +1,63 @@
+"""``no-bare-except-in-runtime`` — the runtime never swallows blind.
+
+A swallowed exception in an engine, transport or worker loop turns a
+protocol bug (lost message, poisoned counter, dead rank) into a silent
+hang or silently wrong factors — the distributed engine's whole error
+story depends on failures being *reported* (posted to the result
+channel) so the master can tear the pool down.  In ``repro/runtime``
+the rule flags:
+
+* any bare ``except:``;
+* ``except Exception:`` / ``except BaseException:`` whose body is only
+  ``pass``/``...`` — catching broadly is fine *if* the handler reports
+  (re-raises, posts, or logs) what it caught.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..astlint import FileContext, Finding, Rule, register
+from ._util import dotted
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    """True when the handler body does nothing with the exception."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+@register
+class BareExceptRule(Rule):
+    name = "no-bare-except-in-runtime"
+    description = (
+        "runtime code never uses bare `except:` or a silent "
+        "`except Exception: pass`"
+    )
+    files = ("*/repro/runtime/*.py",)
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    self.name, node,
+                    "bare `except:` in runtime code — name the channel "
+                    "errors you expect and let the rest propagate",
+                )
+            elif dotted(node.type) in _BROAD and _is_silent(node.body):
+                yield ctx.finding(
+                    self.name, node,
+                    f"`except {dotted(node.type)}: pass` swallows failures "
+                    "silently — catch the specific errors and log what was "
+                    "swallowed",
+                )

@@ -1,0 +1,156 @@
+"""``kernel-purity`` — numeric kernels mutate only their output block.
+
+The GETRF/GESSM/TSTRF/SSSSM kernels run concurrently under the threaded
+and distributed engines; the protocol serialises writes to each task's
+*designated* target block and nothing else.  A kernel that writes an
+operand block races with every other reader of that block, and hidden
+nondeterminism (``np.random``, wall-clock reads, module-level mutable
+state) breaks the engines-agree cross-checks.  The rule enforces, per
+kernel module:
+
+* a ``<role>_*`` kernel writes only through its output parameter (by
+  calling convention: ``getrf_*``/``ssssm_*`` → first parameter,
+  ``gessm_*``/``tstrf_*`` → second) and its ``ws`` workspace — one level
+  of local aliasing (``c_data = c.data``) is resolved;
+* no ``import time`` / ``import random`` / ``np.random`` usage;
+* no module-level mutable state except ALL_CAPS registry constants, and
+  no ``global`` statements inside kernels.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..astlint import FileContext, Finding, Rule, register
+from ._util import dotted, functions, mutation_roots
+
+#: kernel-role prefix → index of the writable (output) parameter
+_WRITABLE_PARAM = {"getrf": 0, "gessm": 1, "tstrf": 1, "ssssm": 0}
+
+_BANNED_MODULES = {"time", "random"}
+
+
+def _alias_map(fn: ast.FunctionDef, params: set[str]) -> dict[str, str]:
+    """Locals that alias a parameter's storage: ``c_data = c.data`` maps
+    ``c_data → c`` (tuple unpacking included)."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target, value = node.targets[0], node.value
+        pairs: list[tuple[ast.AST, ast.AST]] = []
+        if isinstance(target, ast.Name):
+            pairs.append((target, value))
+        elif isinstance(target, ast.Tuple) and isinstance(value, ast.Tuple):
+            pairs.extend(zip(target.elts, value.elts))
+        for t, v in pairs:
+            if not isinstance(t, ast.Name):
+                continue
+            path = dotted(v)
+            if path is None:
+                continue
+            root = path.split(".")[0]
+            if root in params:
+                aliases[t.id] = root
+    return aliases
+
+
+@register
+class KernelPurityRule(Rule):
+    name = "kernel-purity"
+    description = (
+        "kernels write only their designated output block; no randomness, "
+        "clocks, or module-level mutable state"
+    )
+    files = (
+        "*/repro/kernels/getrf.py",
+        "*/repro/kernels/gessm.py",
+        "*/repro/kernels/tstrf.py",
+        "*/repro/kernels/ssssm.py",
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_module_state(tree, ctx)
+        for fn in functions(tree):
+            role = fn.name.split("_", 1)[0]
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Global):
+                    yield ctx.finding(
+                        self.name, node,
+                        f"`global` inside kernel module function {fn.name}() "
+                        "— kernels must not touch module state",
+                    )
+                path = dotted(node) if isinstance(node, ast.Attribute) else None
+                if path in ("np.random", "numpy.random"):
+                    yield ctx.finding(
+                        self.name, node,
+                        "np.random in a kernel module — kernels must be "
+                        "deterministic",
+                    )
+            if role not in _WRITABLE_PARAM:
+                continue
+            yield from self._check_writes(fn, ctx)
+
+    def _check_module_state(
+        self, tree: ast.Module, ctx: FileContext
+    ) -> Iterator[Finding]:
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                names = (
+                    [stmt.module or ""]
+                    if isinstance(stmt, ast.ImportFrom)
+                    else [a.name for a in stmt.names]
+                )
+                for name in names:
+                    if name.split(".")[0] in _BANNED_MODULES:
+                        yield ctx.finding(
+                            self.name, stmt,
+                            f"import of {name!r} in a kernel module — no "
+                            "clocks or randomness inside kernels",
+                        )
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and not target.id.isupper()
+                        and not (
+                            target.id.startswith("__")
+                            and target.id.endswith("__")
+                        )
+                        and isinstance(
+                            stmt.value,
+                            (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                             ast.ListComp, ast.SetComp),
+                        )
+                    ):
+                        yield ctx.finding(
+                            self.name, stmt,
+                            f"module-level mutable state {target.id!r} in a "
+                            "kernel module — use an ALL_CAPS immutable "
+                            "registry or move it into the function",
+                        )
+
+    def _check_writes(self, fn: ast.FunctionDef, ctx: FileContext) -> Iterator[Finding]:
+        params = [a.arg for a in fn.args.args + fn.args.posonlyargs]
+        if not params:
+            return
+        widx = _WRITABLE_PARAM[fn.name.split("_", 1)[0]]
+        if widx >= len(params):
+            return
+        writable = {params[widx], "ws"}
+        readonly = set(params) - writable
+        aliases = _alias_map(fn, set(params))
+        for stmt in ast.walk(fn):
+            if not isinstance(stmt, ast.stmt):
+                continue
+            for root, node in mutation_roots(stmt):
+                owner = aliases.get(root, root)
+                if owner in readonly:
+                    yield ctx.finding(
+                        self.name, node,
+                        f"kernel {fn.name}() mutates read-only operand "
+                        f"{owner!r} (designated output is "
+                        f"{params[widx]!r}) — another task may be reading "
+                        "that block concurrently",
+                    )

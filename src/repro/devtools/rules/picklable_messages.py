@@ -1,0 +1,125 @@
+"""``picklable-messages`` — transport-crossing classes stay picklable.
+
+Everything the :class:`~repro.runtime.transports.MultiprocessingTransport`
+moves between ranks is pickled: worker arguments at fork time, block
+payloads, and each rank's result report (which carries its
+:class:`~repro.runtime.scheduler.EventRecorder`).  A lock, condition,
+queue, or closure smuggled onto such a class does not fail until the
+*first multiprocessing run*, deep inside a worker — this rule moves the
+failure to lint time.
+
+A class opts in by declaring ``__transport_message__ = True`` in its
+body (the scheduler event classes and ``CSCMatrix`` are registered this
+way).  For registered classes the rule flags any class-level or
+``self.*`` assignment of ``threading.Lock/RLock/Condition/Event/
+Semaphore``, ``queue.Queue`` (and friends), a ``lambda``, or a nested
+function — none of which survive a pickle round-trip.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..astlint import FileContext, Finding, Rule, register
+from ._util import dotted
+
+_MARKER = "__transport_message__"
+
+#: call targets that construct unpicklable synchronisation primitives
+_UNPICKLABLE_CALLS = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Event", "threading.Semaphore", "threading.BoundedSemaphore",
+    "threading.Barrier", "Lock", "RLock", "Condition",
+    "queue.Queue", "queue.SimpleQueue", "queue.LifoQueue",
+    "queue.PriorityQueue", "queue_mod.Queue", "mp.Queue",
+    "multiprocessing.Queue", "multiprocessing.Lock",
+})
+
+
+def _is_message_class(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == _MARKER
+                for t in stmt.targets
+            )
+        ):
+            return True
+    return False
+
+
+def _unpicklable(value: ast.AST, local_defs: set[str]) -> str | None:
+    """Why ``value`` cannot cross a pickle boundary, or ``None``."""
+    if isinstance(value, ast.Lambda):
+        return "a lambda (closures do not pickle)"
+    if isinstance(value, ast.Call):
+        name = dotted(value.func)
+        if name in _UNPICKLABLE_CALLS:
+            return f"{name}() (synchronisation primitives do not pickle)"
+    if isinstance(value, ast.Name) and value.id in local_defs:
+        return f"nested function {value.id!r} (closures do not pickle)"
+    return None
+
+
+@register
+class PicklableMessagesRule(Rule):
+    name = "picklable-messages"
+    description = (
+        "classes marked __transport_message__ carry no locks, queues, or "
+        "closures"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for cls in (n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)):
+            if not _is_message_class(cls):
+                continue
+            yield from self._check_class(cls, ctx)
+
+    def _check_class(self, cls: ast.ClassDef, ctx: FileContext) -> Iterator[Finding]:
+        # class-level fields
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                value = stmt.value
+                if value is None:
+                    continue
+                why = _unpicklable(value, set())
+                if why is not None:
+                    yield ctx.finding(
+                        self.name, stmt,
+                        f"message class {cls.name} holds {why} — it crosses "
+                        "the multiprocessing transport",
+                    )
+        # self.* assignments in methods
+        for method in (s for s in cls.body if isinstance(s, ast.FunctionDef)):
+            local_defs = {
+                n.name for n in ast.walk(method)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and n is not method
+            }
+            for node in ast.walk(method):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                value = node.value
+                if value is None:
+                    continue
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                is_self_attr = any(
+                    isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                    for t in targets
+                )
+                if not is_self_attr:
+                    continue
+                why = _unpicklable(value, local_defs)
+                if why is not None:
+                    yield ctx.finding(
+                        self.name, node,
+                        f"message class {cls.name} assigns {why} to an "
+                        "instance field — it crosses the multiprocessing "
+                        "transport",
+                    )

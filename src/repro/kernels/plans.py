@@ -67,6 +67,12 @@ __all__ = [
     "run_getrf_plan",
 ]
 
+# registered for the `lock-discipline` lint rule: the plan dict is only
+# written under the cache lock (reads stay lock-free — see PlanCache.get)
+__guarded_by__ = {
+    "self._lock": ("self._plans",),
+}
+
 #: Kernel versions whose numeric behaviour a plan reproduces exactly.
 #: Dense-mapped (``C_V1`` GEMM, ``C_V2``/``G_V3`` panels) and compiled
 #: (``G_V1`` SpGEMM, ``G_V3`` solves) variants use different summation

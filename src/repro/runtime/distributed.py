@@ -33,6 +33,7 @@ pay pickling costs that real MPI ranks do not.
 
 from __future__ import annotations
 
+import logging
 import queue as queue_mod
 import time
 from dataclasses import dataclass, field
@@ -55,6 +56,8 @@ from .transports import (
 )
 
 __all__ = ["DistributedStats", "factorize_distributed"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -124,14 +127,24 @@ def _worker_main(
     use_plans: bool,
     plan_entry_limit: int | None,
     trace: bool,
+    validate: bool = False,
 ) -> None:
     """Worker loop: compute own tasks, exchange blocks, ship results back.
 
-    ``tasks[tid] = (ttype, k, bi, bj, n_deps, flops)``.
+    ``tasks[tid] = (ttype, k, bi, bj, n_deps, flops)``.  With
+    ``validate`` a rank-local :class:`~repro.devtools.racecheck.
+    RaceChecker` audits the counter protocol; a violation is posted to
+    the master as this rank's failure.
     """
     from ..core.dag import Task
     from ..kernels.plans import PlanCache
     from ..kernels.selector import SelectorPolicy
+
+    checker = None
+    if validate:
+        from ..devtools.racecheck import CheckedSchedulerCore, RaceChecker
+
+        checker = RaceChecker(label=f"rank {rank}")
 
     view = _LocalView(nb, bs, n)
     owned_keys: set[tuple[int, int]] = set()
@@ -159,6 +172,8 @@ def _worker_main(
         entries, succ_arrays, n_deps,
         owned=my_tasks, recorder=recorder, lane=rank,
     )
+    if checker is not None:
+        core = CheckedSchedulerCore.adopt(core, checker)
     sent_msgs = 0
     sent_bytes = 0
     choices: dict[int, str] = {}
@@ -203,9 +218,16 @@ def _worker_main(
             ktype = _TTYPE_TO_KTYPE[task.ttype]
             version = selector.select(ktype, feats)
             t0 = time.perf_counter() if recorder else 0.0
-            replaced, planned = execute_task(
-                view, task, version, ws, pivot_floor=pivot_floor, plans=plans
-            )
+            slot = view.block_slot(bi, bj)
+            if checker is not None:
+                checker.begin_write(slot, tid, rank)
+            try:
+                replaced, planned = execute_task(
+                    view, task, version, ws, pivot_floor=pivot_floor, plans=plans
+                )
+            finally:
+                if checker is not None:
+                    checker.end_write(slot, tid, rank)
             if recorder is not None:
                 recorder.task(
                     rank, f"{task.ttype.name}(k={k},{bi},{bj})",
@@ -230,6 +252,8 @@ def _worker_main(
                     sent_bytes += nbytes
                     if recorder is not None:
                         recorder.send(rank, w, tid, nbytes)
+        if checker is not None:
+            checker.final_check(core)
         # ship factored owned blocks home (received operand copies stay)
         out = [
             (bi, bj, blk.indptr, blk.indices, blk.data)
@@ -247,8 +271,14 @@ def _worker_main(
     except BaseException as exc:
         try:
             endpoint.post_result(("error", rank, repr(exc)))
-        except Exception:  # pragma: no cover - result channel gone
-            pass
+        except (OSError, ValueError, TransportStopped) as post_exc:
+            # pragma: no cover - result channel gone (master died or
+            # closed the queue); the original failure would otherwise
+            # vanish, so log both before exiting
+            logger.error(
+                "rank %d failed with %r and could not report it "
+                "(result channel gone: %r)", rank, exc, post_exc,
+            )
 
 
 def factorize_distributed(
@@ -260,6 +290,7 @@ def factorize_distributed(
     timeout: float = 300.0,
     transport: Transport | None = None,
     recorder: EventRecorder | None = None,
+    validate: bool = False,
 ) -> DistributedStats:
     """Factorise ``f`` in place across ``n_procs`` ranks.
 
@@ -277,7 +308,10 @@ def factorize_distributed(
     OOM kill, …) terminates the remaining pool and raises instead of
     hanging the caller.  Pass a ``recorder`` to collect per-rank task and
     message send/recv events from the real run (merged into it on
-    success) for Chrome-trace export.
+    success) for Chrome-trace export.  With ``validate`` each rank runs
+    a local :class:`~repro.devtools.racecheck.RaceChecker`; protocol
+    violations (duplicate completions, double writes, dropped messages)
+    surface as that rank's error instead of silent corruption.
     """
     options = options or NumericOptions()
     if n_procs < 1:
@@ -309,7 +343,7 @@ def factorize_distributed(
         return (
             f.nb, f.bs, f.n, owned_per_rank[rank], tasks, successors,
             owner_of_task, options.pivot_floor, options.use_plans,
-            options.plan_entry_limit, recorder is not None,
+            options.plan_entry_limit, recorder is not None, validate,
         )
 
     transport.start(n_procs, _worker_main, args_of_rank)

@@ -62,11 +62,25 @@ def available_engines() -> list[str]:
     return sorted(_ENGINES)
 
 
+def _resolve_checker(options, label: str):
+    """A fresh :class:`~repro.devtools.racecheck.RaceChecker` when the
+    options (or the ``REPRO_CHECK`` environment variable) request
+    concurrency validation, else ``None``."""
+    from ..devtools.racecheck import RaceChecker, validation_enabled
+
+    if not validation_enabled(options):
+        return None
+    return RaceChecker(label=label)
+
+
 @register_engine("sequential")
 def _sequential(
     f, dag, options, *, recorder: EventRecorder | None = None
 ) -> FactorizeStats:
-    return factorize(f, dag, options.numeric, recorder=recorder)
+    return factorize(
+        f, dag, options.numeric, recorder=recorder,
+        checker=_resolve_checker(options, "sequential"),
+    )
 
 
 @register_engine("threaded")
@@ -76,6 +90,7 @@ def _threaded(
     tstats = factorize_threaded(
         f, dag, options.numeric,
         n_workers=max(1, options.n_workers), recorder=recorder,
+        checker=_resolve_checker(options, "threaded"),
     )
     return FactorizeStats(
         kernel_choices=tstats.kernel_choices,
@@ -91,9 +106,12 @@ def _threaded(
 def _distributed(
     f, dag, options, *, recorder: EventRecorder | None = None
 ) -> FactorizeStats:
+    from ..devtools.racecheck import validation_enabled
+
     dstats = factorize_distributed(
         f, dag, max(1, options.nprocs),
         options=options.numeric, recorder=recorder,
+        validate=validation_enabled(options),
     )
     return FactorizeStats(
         kernel_choices=dstats.kernel_choices,

@@ -37,6 +37,7 @@ import numpy as np
 
 __all__ = [
     "ready_entry",
+    "CounterUnderflowError",
     "SchedulerCore",
     "WorkerLocal",
     "EventRecorder",
@@ -44,6 +45,17 @@ __all__ = [
     "MessageEvent",
     "DepthEvent",
 ]
+
+
+class CounterUnderflowError(RuntimeError):
+    """A dependency counter was decremented below zero.
+
+    Counters count *unfinished predecessors*; going negative means some
+    predecessor completed (or was reported) more than once — a duplicate
+    message, a double execution, or a corrupted DAG.  The error names the
+    over-decremented successors so the offending completion path can be
+    traced (see also :mod:`repro.devtools.racecheck` for the opt-in
+    checker that attributes the duplicate to a worker)."""
 
 
 def ready_entry(task, tid: int) -> tuple[int, int, int]:
@@ -61,6 +73,8 @@ def ready_entry(task, tid: int) -> tuple[int, int, int]:
 class TaskEvent:
     """One executed task: which lane ran it, when, and what it was."""
 
+    __transport_message__ = True
+
     worker: int
     name: str
     cat: str
@@ -77,6 +91,8 @@ class MessageEvent:
     producing task (the flow-event correlation key).
     """
 
+    __transport_message__ = True
+
     kind: str
     rank: int
     peer: int
@@ -88,6 +104,8 @@ class MessageEvent:
 @dataclass
 class DepthEvent:
     """Ready-queue depth sample (one heap per ``lane``)."""
+
+    __transport_message__ = True
 
     lane: int
     depth: int
@@ -104,6 +122,8 @@ class EventRecorder:
     the earliest event.  Recorders are picklable so distributed ranks can
     ship theirs back to the master, which :meth:`merge`\\ s them.
     """
+
+    __transport_message__ = True
 
     def __init__(self) -> None:
         self.task_events: list[TaskEvent] = []
@@ -313,6 +333,18 @@ class SchedulerCore:
         newly = 0
         if succ.size:
             self.counters[succ] -= 1
+            bad = succ[self.counters[succ] < 0]
+            if bad.size:
+                detail = ", ".join(
+                    f"task {int(s)} at {int(self.counters[s])} "
+                    f"(expected ≥ 0)"
+                    for s in bad[:8]
+                )
+                raise CounterUnderflowError(
+                    f"completion of task {tid} drove {bad.size} dependency "
+                    f"counter(s) negative: {detail} — task {tid} completed "
+                    "more than once (duplicate message or double execution)"
+                )
             for s in succ[self.counters[succ] == 0]:
                 heapq.heappush(self.ready, self.entries[s])
                 newly += 1

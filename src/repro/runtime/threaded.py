@@ -44,6 +44,20 @@ from .scheduler import EventRecorder, SchedulerCore, WorkerLocal
 
 __all__ = ["ThreadedStats", "factorize_threaded"]
 
+# shared state and its lock, registered for the `lock-discipline` lint
+# rule: these operations only happen inside `with cond:`
+__guarded_by__ = {
+    "cond": ("core.pop", "core.complete", "errors", "local.merge_into"),
+}
+
+
+def _make_block_locks(n: int) -> list[threading.Lock]:
+    """One lock per stored block, serialising concurrent updates to the
+    same target.  A separate function so the race-detector tests can
+    replace it with no-op locks and prove the checker catches the
+    resulting double write."""
+    return [threading.Lock() for _ in range(n)]
+
 
 @dataclass
 class ThreadedStats:
@@ -65,6 +79,7 @@ def factorize_threaded(
     *,
     n_workers: int = 4,
     recorder: EventRecorder | None = None,
+    checker=None,
 ) -> ThreadedStats:
     """Factorise the blocked matrix in place with ``n_workers`` threads.
 
@@ -73,7 +88,10 @@ def factorize_threaded(
     up to floating-point reassociation of commuting Schur updates.  Pass
     an :class:`~repro.runtime.scheduler.EventRecorder` to capture
     per-worker task events and ready-depth samples for Chrome-trace
-    export of the real run.
+    export of the real run, and a
+    :class:`~repro.devtools.racecheck.RaceChecker` (``checker``) to
+    verify the single-writer / exactly-once invariants with per-worker
+    provenance.
     """
     options = options or NumericOptions()
     if n_workers < 1:
@@ -88,7 +106,7 @@ def factorize_threaded(
     errors: list[BaseException] = []
 
     # one lock per stored block serialises concurrent updates to a target
-    block_locks = [threading.Lock() for _ in f.blk_values]
+    block_locks = _make_block_locks(len(f.blk_values))
 
     def worker(wid: int) -> None:
         ws = Workspace()
@@ -105,6 +123,8 @@ def factorize_threaded(
                         return
                 task = dag.tasks[tid]
                 try:
+                    if checker is not None:
+                        checker.on_pop(tid, wid)
                     # feature extraction and version selection run
                     # outside the global lock — only the target block
                     # is serialised during the kernel itself
@@ -114,28 +134,38 @@ def factorize_threaded(
                     slot = f.block_slot(task.bi, task.bj)
                     t0 = time.perf_counter() if recorder else 0.0
                     with block_locks[slot]:
-                        replaced, planned = execute_task(
-                            f, task, version, ws,
-                            pivot_floor=options.pivot_floor, plans=plans,
-                        )
+                        if checker is not None:
+                            checker.begin_write(slot, tid, wid)
+                        try:
+                            replaced, planned = execute_task(
+                                f, task, version, ws,
+                                pivot_floor=options.pivot_floor, plans=plans,
+                            )
+                        finally:
+                            if checker is not None:
+                                checker.end_write(slot, tid, wid)
                     if recorder:
                         recorder.task(
                             wid,
                             f"{task.ttype.name}(k={task.k},{task.bi},{task.bj})",
                             task.ttype.name, t0, time.perf_counter(), tid,
                         )
+                    local.count(
+                        tid, f"{ktype.value}/{version}", replaced, planned
+                    )
+                    if checker is not None:
+                        checker.on_complete(tid, wid)
+                    with cond:
+                        newly_ready = core.complete(tid)
+                        if core.done():
+                            cond.notify_all()
+                        elif newly_ready:
+                            cond.notify(newly_ready)
                 except BaseException as exc:  # propagate to the caller
                     with cond:
                         errors.append(exc)
                         cond.notify_all()
                     return
-                local.count(tid, f"{ktype.value}/{version}", replaced, planned)
-                with cond:
-                    newly_ready = core.complete(tid)
-                    if core.done():
-                        cond.notify_all()
-                    elif newly_ready:
-                        cond.notify(newly_ready)
         finally:
             with cond:
                 local.merge_into(stats)
@@ -150,6 +180,8 @@ def factorize_threaded(
         th.join()
     if errors:
         raise errors[0]
+    if checker is not None:
+        checker.final_check(core)
     stats.max_ready_depth = core.max_ready_depth
     if stats.tasks_executed != n:
         raise RuntimeError(

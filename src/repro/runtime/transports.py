@@ -76,6 +76,13 @@ class FaultPlan:
     drop_from:
         Ranks whose sends are silently discarded (a lossy link; again a
         starvation → timeout scenario).
+    duplicate_from:
+        Ranks whose every send is delivered **twice** (a retransmitting
+        link).  The counter protocol is *not* idempotent — a duplicate
+        completion over-decrements successor counters — so this exercises
+        the :class:`~repro.runtime.scheduler.CounterUnderflowError` guard
+        and the :mod:`repro.devtools.racecheck` duplicate-completion
+        detector.
     delay_seconds:
         Added delivery latency per message.
     stagger:
@@ -87,6 +94,7 @@ class FaultPlan:
     dead_ranks: frozenset[int] = frozenset()
     fail_after: dict[int, int] = field(default_factory=dict)
     drop_from: frozenset[int] = frozenset()
+    duplicate_from: frozenset[int] = frozenset()
     delay_seconds: float = 0.0
     stagger: bool = False
 
@@ -221,14 +229,19 @@ class _LoopbackEndpoint(Endpoint):
         if self.rank in t.faults.drop_from:
             return
         self._sends += 1
+        copies = 2 if self.rank in t.faults.duplicate_from else 1
         delay = t.faults.delay_seconds
         if delay > 0.0 and (not t.faults.stagger or self._sends % 2 == 1):
-            timer = threading.Timer(delay, t.inboxes[dst].put, args=(payload,))
-            timer.daemon = True
-            timer.start()
-            t._timers.append(timer)
+            for _ in range(copies):
+                timer = threading.Timer(
+                    delay, t.inboxes[dst].put, args=(payload,)
+                )
+                timer.daemon = True
+                timer.start()
+                t._timers.append(timer)
         else:
-            t.inboxes[dst].put(payload)
+            for _ in range(copies):
+                t.inboxes[dst].put(payload)
 
     def recv(self, block: bool = True):
         t = self._t

@@ -60,6 +60,10 @@ class CSCMatrix:
         invariants by design.
     """
 
+    # blocks cross the multiprocessing transport (rank scatter at fork
+    # time), so the `picklable-messages` lint rule audits this class
+    __transport_message__ = True
+
     __slots__ = ("shape", "indptr", "indices", "_data", "_cols")
 
     def __init__(

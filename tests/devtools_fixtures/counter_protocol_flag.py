@@ -1,0 +1,11 @@
+"""Should-flag fixture for the `counter-protocol` rule."""
+
+import heapq
+
+
+def hand_rolled_completion(core, tid):
+    for s in core.successors[tid]:
+        core.counters[s] -= 1                    # raw counter store
+        if core.counters[s] == 0:
+            heapq.heappush(core.ready, core.entries[s])  # raw heap push
+    core.remaining -= 1                          # raw progress store

@@ -1,0 +1,8 @@
+"""Should-pass fixture for the `counter-protocol` rule."""
+
+
+def protocol_completion(core, tid):
+    newly_ready = core.complete(tid)   # the one sanctioned path
+    depth = len(core.ready)            # reads are fine
+    counters = list(core.counters)     # so are copies
+    return newly_ready, depth, counters

@@ -1,0 +1,14 @@
+"""Should-flag fixture for the `kernel-purity` rule."""
+
+import time  # clocks are banned in kernel modules
+
+import numpy as np
+
+_scratch = {}  # hidden module-level mutable state
+
+
+def ssssm_bad(c, a, b, ws):
+    a_data = a.data
+    a_data[0] = time.time()       # mutates the read-only operand `a`
+    b.data.fill(np.random.rand())  # mutates `b` and is nondeterministic
+    return c

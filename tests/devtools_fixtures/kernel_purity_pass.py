@@ -1,0 +1,13 @@
+"""Should-pass fixture for the `kernel-purity` rule."""
+
+import numpy as np
+
+SSSSM_VARIANTS = {}  # ALL_CAPS registry constants are allowed
+
+
+def ssssm_good(c, a, b, ws):
+    c_data = c.data               # local aliasing of the output is fine
+    buf = ws.dense2d
+    buf.fill(0.0)                 # the workspace is writable
+    np.subtract.at(c_data, np.arange(1), a.data[:1] * b.data[:1])
+    return c

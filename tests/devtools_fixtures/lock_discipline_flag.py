@@ -1,0 +1,15 @@
+"""Should-flag fixture for the `lock-discipline` rule."""
+
+import threading
+
+__guarded_by__ = {
+    "cond": ("core.pop", "errors"),
+}
+
+cond = threading.Condition()
+
+
+def worker(core, errors):
+    tid = core.pop()        # guarded call outside `with cond:`
+    errors.append(tid)      # guarded mutation outside `with cond:`
+    return tid

@@ -1,0 +1,17 @@
+"""Should-pass fixture for the `lock-discipline` rule."""
+
+import threading
+
+__guarded_by__ = {
+    "cond": ("core.pop", "errors"),
+}
+
+cond = threading.Condition()
+
+
+def worker(core, errors):
+    with cond:
+        tid = core.pop()
+        if tid is None and not errors:
+            errors.append(RuntimeError("starved"))
+    return tid

@@ -1,0 +1,20 @@
+"""Should-flag fixture for the `picklable-messages` rule."""
+
+import queue
+import threading
+
+
+class RankReport:
+    __transport_message__ = True
+
+    finalize = lambda self: None  # noqa: E731  (deliberate: lambda field)
+
+    def __init__(self, rank):
+        self.rank = rank
+        self.lock = threading.Lock()      # does not survive pickling
+        self.inbox = queue.Queue()        # neither does this
+
+        def fmt():
+            return f"rank {self.rank}"
+
+        self.fmt = fmt                    # nor a closure

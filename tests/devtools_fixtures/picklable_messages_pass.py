@@ -1,0 +1,20 @@
+"""Should-pass fixture for the `picklable-messages` rule."""
+
+import threading
+
+
+class RankReport:
+    __transport_message__ = True
+
+    kind = "report"  # plain class-level constants are fine
+
+    def __init__(self, rank, payload):
+        self.rank = rank
+        self.payload = payload
+
+
+class LocalScratch:
+    """Not marked as a transport message — locks are fine here."""
+
+    def __init__(self):
+        self.lock = threading.Lock()

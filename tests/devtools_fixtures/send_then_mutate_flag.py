@@ -1,0 +1,8 @@
+"""Should-flag fixture for the `send-then-mutate` rule."""
+
+
+def broadcast(endpoint, dests, blk, tid):
+    payload = (tid, blk.indptr, blk.indices, blk.data)
+    for dst in dests:
+        endpoint.send(dst, payload)
+    blk.data[0] = 0.0   # the receiver may still be reading this array

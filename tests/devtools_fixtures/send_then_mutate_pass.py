@@ -1,0 +1,15 @@
+"""Should-pass fixture for the `send-then-mutate` rule."""
+
+
+def broadcast(endpoint, dests, blk, tid):
+    blk.data[0] = 0.0   # mutating *before* the send is fine
+    payload = (tid, blk.indptr, blk.indices, blk.data)
+    for dst in dests:
+        endpoint.send(dst, payload)
+
+
+def report(endpoint, stats):
+    endpoint.post_result(("ok", stats))
+    stats = {}          # rebinding releases the name — no mutation
+    stats["fresh"] = 1
+    return stats

@@ -1,0 +1,200 @@
+"""Tests of the project-specific AST lint (`repro.devtools`).
+
+Every rule is exercised against a pair of fixtures under
+``tests/devtools_fixtures/``: a *should-flag* snippet containing the
+violation the rule exists for, and a *should-pass* snippet showing the
+sanctioned way to write the same thing.  The repo itself must lint clean
+— that is the gate ``make lint`` / ``scripts/check.sh`` enforce.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import lint as lint_cli
+from repro.devtools.astlint import (
+    all_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+
+FIXTURES = Path(__file__).parent / "devtools_fixtures"
+SRC = Path(__file__).parent.parent / "src"
+
+#: rule name → fixture basename
+RULE_FIXTURES = {
+    "lock-discipline": "lock_discipline",
+    "counter-protocol": "counter_protocol",
+    "kernel-purity": "kernel_purity",
+    "send-then-mutate": "send_then_mutate",
+    "no-bare-except-in-runtime": "bare_except",
+    "picklable-messages": "picklable_messages",
+}
+
+
+def _run_rule(rule_name: str, path: Path):
+    """Lint one fixture with exactly one rule (bypassing path filters)."""
+    rule = all_rules()[rule_name]
+    return lint_file(path, rules=[rule])
+
+
+# ----------------------------------------------------------------------
+# per-rule fixtures
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("rule_name", sorted(RULE_FIXTURES))
+def test_rule_flags_its_fixture(rule_name):
+    findings = _run_rule(
+        rule_name, FIXTURES / f"{RULE_FIXTURES[rule_name]}_flag.py"
+    )
+    assert findings, f"{rule_name} missed its should-flag fixture"
+    assert all(f.rule == rule_name for f in findings)
+    assert all(f.line > 0 for f in findings)
+
+
+@pytest.mark.parametrize("rule_name", sorted(RULE_FIXTURES))
+def test_rule_passes_its_clean_fixture(rule_name):
+    findings = _run_rule(
+        rule_name, FIXTURES / f"{RULE_FIXTURES[rule_name]}_pass.py"
+    )
+    assert findings == [], [f.format() for f in findings]
+
+
+def test_every_registered_rule_has_fixtures():
+    assert set(all_rules()) == set(RULE_FIXTURES)
+
+
+def test_rule_finding_details():
+    findings = _run_rule("lock-discipline", FIXTURES / "lock_discipline_flag.py")
+    messages = "\n".join(f.message for f in findings)
+    assert "core.pop" in messages
+    assert "errors" in messages
+    flagged_lines = {f.line for f in findings}
+    assert len(flagged_lines) == 2  # the call and the mutation
+
+
+# ----------------------------------------------------------------------
+# suppression
+# ----------------------------------------------------------------------
+
+BAD_EXCEPT = (
+    "def f(endpoint):\n"
+    "    try:\n"
+    "        endpoint.post_result(1)\n"
+    "    except Exception:\n"
+    "        pass\n"
+)
+
+
+def _bare_rule():
+    return [all_rules()["no-bare-except-in-runtime"]]
+
+
+def test_line_suppression():
+    src = BAD_EXCEPT.replace(
+        "except Exception:",
+        "except Exception:  # repro: noqa[no-bare-except-in-runtime]",
+    )
+    assert lint_source(BAD_EXCEPT, rules=_bare_rule())
+    assert lint_source(src, rules=_bare_rule()) == []
+
+
+def test_line_suppression_other_rule_does_not_apply():
+    src = BAD_EXCEPT.replace(
+        "except Exception:",
+        "except Exception:  # repro: noqa[kernel-purity]",
+    )
+    assert lint_source(src, rules=_bare_rule())
+
+
+def test_file_suppression_via_standalone_comment():
+    src = "# repro: noqa[no-bare-except-in-runtime]\n" + BAD_EXCEPT
+    assert lint_source(src, rules=_bare_rule()) == []
+
+
+def test_blanket_suppression():
+    src = BAD_EXCEPT.replace(
+        "except Exception:", "except Exception:  # repro: noqa"
+    )
+    assert lint_source(src, rules=_bare_rule()) == []
+
+
+# ----------------------------------------------------------------------
+# framework behaviour
+# ----------------------------------------------------------------------
+
+def test_syntax_error_is_reported_not_raised():
+    findings = lint_source("def f(:\n")
+    assert [f.rule for f in findings] == ["syntax-error"]
+
+
+def test_path_filters_keep_rules_off_foreign_files():
+    # kernel-purity is scoped to the kernel modules: the same source
+    # linted under a non-kernel path produces nothing
+    bad = (FIXTURES / "kernel_purity_flag.py").read_text()
+    assert lint_source(bad, path="somewhere/else.py") == []
+
+
+def test_lint_paths_skips_fixture_directory():
+    findings = lint_paths([FIXTURES.parent])
+    assert not any("devtools_fixtures" in f.path for f in findings)
+
+
+def test_unknown_select_raises():
+    with pytest.raises(ValueError, match="unknown rule"):
+        lint_paths([FIXTURES], select=["no-such-rule"])
+
+
+def test_renderers():
+    findings = _run_rule("counter-protocol", FIXTURES / "counter_protocol_flag.py")
+    text = render_text(findings)
+    assert "[counter-protocol]" in text and "findings" in text
+    import json
+
+    parsed = json.loads(render_json(findings))
+    assert parsed and parsed[0]["rule"] == "counter-protocol"
+
+
+# ----------------------------------------------------------------------
+# the gate: the repo itself is clean, and the CLI exit codes work
+# ----------------------------------------------------------------------
+
+def test_repository_lints_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n" + "\n".join(f.format() for f in findings)
+
+
+def test_cli_exit_codes(capsys, tmp_path):
+    assert lint_cli.main([str(SRC / "repro" / "devtools")]) == 0
+    assert "0 findings" in capsys.readouterr().out
+    bad = tmp_path / "bad.py"
+    bad.write_text((FIXTURES / "counter_protocol_flag.py").read_text())
+    assert lint_cli.main([str(bad), "--select", "counter-protocol"]) == 1
+    assert "[counter-protocol]" in capsys.readouterr().out
+
+
+def test_cli_list_rules(capsys):
+    assert lint_cli.main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for name in RULE_FIXTURES:
+        assert name in out
+
+
+def test_cli_json_format(capsys, tmp_path):
+    import json
+
+    # the bare-except rule is scoped to */repro/runtime/*.py, so give
+    # the temporary copy a matching path
+    bad = tmp_path / "repro" / "runtime" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text((FIXTURES / "bare_except_flag.py").read_text())
+    assert lint_cli.main(
+        [str(bad), "--select", "no-bare-except-in-runtime",
+         "--format", "json"]
+    ) == 1
+    parsed = json.loads(capsys.readouterr().out)
+    assert parsed
+    assert all(f["rule"] == "no-bare-except-in-runtime" for f in parsed)
