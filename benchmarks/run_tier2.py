@@ -4,7 +4,9 @@
 Standalone (no pytest): times every SSSSM / GESSM / TSTRF kernel variant
 plus the planned execution path on three canonical block densities —
 ``sparse`` (bin-search regime), ``medium`` (crossover), ``filled``
-(post-fill blocks where the dense-mapped variants win) — and writes the
+(post-fill blocks where the dense-mapped variants win) — plus a
+``tsolve`` row (phase-5 triangular solves through the engine path,
+sequential vs threaded, single and 16-RHS panels) — and writes the
 results to ``BENCH_kernels.json`` at the repo root.
 
 The JSON is checked in as a coarse performance trajectory for the
@@ -117,11 +119,47 @@ def bench_regime(regime: str, density: float) -> dict:
     return out
 
 
+def bench_tsolve() -> dict:
+    """Phase-5 triangular solves through the real engine path:
+    sequential vs threaded over the executable solve DAG, vector and
+    16-RHS panel (the amortisation the factor-once handle exists for)."""
+    from repro.core import block_partition, build_dag, factorize
+    from repro.core.tsolve import tsolve_sequential
+    from repro.core.tsolve_dag import build_tsolve_dag
+    from repro.runtime import tsolve_threaded
+
+    n = max(120, int(600 * SCALE))
+    a = random_sparse(n, 0.02, seed=11)
+    f = block_partition(symbolic_symmetric(a).filled, max(16, n // 10))
+    factorize(f, build_dag(f))
+    tdag = build_tsolve_dag(f, lambda bi, bj: 0, executable=True)
+    b1 = np.linspace(1.0, 2.0, f.n)
+    b16 = np.linspace(1.0, 2.0, f.n * 16).reshape(f.n, 16)
+    x_seq, _ = tsolve_sequential(f, b1, tdag=tdag)
+    x_thr, _ = tsolve_threaded(f, tdag, b1, n_workers=4)
+    assert np.array_equal(x_seq, x_thr)
+    return {
+        "n": n,
+        "tasks": len(tdag),
+        "sequential": _best_ms(lambda: tsolve_sequential(f, b1, tdag=tdag)),
+        "threaded_x4": _best_ms(
+            lambda: tsolve_threaded(f, tdag, b1, n_workers=4)
+        ),
+        "sequential_rhs16": _best_ms(
+            lambda: tsolve_sequential(f, b16, tdag=tdag)
+        ),
+        "dag_build": _best_ms(
+            lambda: build_tsolve_dag(f, lambda bi, bj: 0, executable=True)
+        ),
+    }
+
+
 def main() -> None:
     results = {
         regime: bench_regime(regime, density)
         for regime, density in DENSITY_REGIMES.items()
     }
+    tsolve = bench_tsolve()
     doc = {
         "schema": "repro-bench-kernels/1",
         "units": "milliseconds (best of %d)" % REPEATS,
@@ -129,6 +167,7 @@ def main() -> None:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "regimes": results,
+        "tsolve": tsolve,
     }
     out_path = REPO_ROOT / "BENCH_kernels.json"
     out_path.write_text(json.dumps(doc, indent=2) + "\n")
@@ -144,6 +183,11 @@ def main() -> None:
                 f"{results[r][fam][version]:8.3f}" for r in results
             )
             print(f"  {version:<{width}}  {row}")
+    t_keys = ("sequential", "threaded_x4", "sequential_rhs16", "dag_build")
+    t_width = max(len(k) for k in t_keys)
+    print(f"\nTSOLVE (ms, n={tsolve['n']}, {tsolve['tasks']} tasks):")
+    for key in t_keys:
+        print(f"  {key:<{t_width}}  {tsolve[key]:8.3f}")
     print(f"\nwrote {out_path}")
 
 

@@ -57,6 +57,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
           f"blocks = {solver.blocks.nb}×{solver.blocks.nb} of {solver.blocks.bs}")
     print(f"engine = {solver.options.resolved_engine()}, "
           f"relative residual = {solver.residual_norm(x, b):.3e}")
+    fact = solver.factorize()
+    if fact.last_tsolve_stats is not None:
+        ts = fact.last_tsolve_stats
+        print(f"solve: {solver.solve_count} call(s), last "
+              f"{solver.last_solve_seconds:.4f} s "
+              f"({ts.tasks_executed} solve tasks via {ts.engine})")
     for phase, seconds in solver.phase_seconds.items():
         print(f"  {phase:<12s} {seconds:8.4f} s")
     if args.trace:
@@ -165,16 +171,19 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--output", help="write the solution vector to this file")
     p.add_argument("--workers", type=int, default=1,
                    help="worker threads (threaded engine) or ranks "
-                        "(distributed engine) for the numeric phase")
+                        "(distributed engine) for the numeric phase and "
+                        "the triangular solves")
     p.add_argument("--engine", default=None,
                    choices=["sequential", "threaded", "distributed"],
-                   help="numeric execution engine (default: threaded when "
+                   help="execution engine for the numeric phase AND the "
+                        "triangular solves (default: threaded when "
                         "--workers > 1, else sequential)")
     p.add_argument("--trace", help="write a chrome://tracing JSON of the real "
-                                   "numeric run to this path")
+                                   "numeric + solve run to this path")
     p.add_argument("--check", action="store_true",
-                   help="run the numeric phase under the concurrency "
-                        "invariant checker (repro.devtools.racecheck); "
+                   help="run the numeric phase and the triangular solves "
+                        "under the concurrency invariant checker "
+                        "(repro.devtools.racecheck); "
                         "equivalent to setting REPRO_CHECK=1")
     p.set_defaults(func=_cmd_solve)
 

@@ -15,9 +15,17 @@ from .numeric import (
     task_features,
 )
 from .schur import extract_trailing, partial_factorize
-from .solver import PanguLU, SolverOptions
+from .solver import Factorization, PanguLU, SolverOptions
 from .memory import MemoryReport, memory_report, per_process_bytes
-from .tsolve import block_backward, block_forward, solve_lower_unit, solve_upper
+from .tsolve import (
+    TSolveStats,
+    block_backward,
+    block_forward,
+    execute_tsolve_task,
+    solve_lower_unit,
+    solve_upper,
+    tsolve_sequential,
+)
 from .tsolve_dag import TSolveDAG, TSolveTaskType, build_tsolve_dag
 
 __all__ = [
@@ -44,6 +52,7 @@ __all__ = [
     "extract_trailing",
     "PanguLU",
     "SolverOptions",
+    "Factorization",
     "MemoryReport",
     "memory_report",
     "per_process_bytes",
@@ -54,4 +63,7 @@ __all__ = [
     "block_forward",
     "solve_lower_unit",
     "solve_upper",
+    "TSolveStats",
+    "execute_tsolve_task",
+    "tsolve_sequential",
 ]

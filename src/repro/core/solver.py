@@ -12,15 +12,24 @@
    two-layer sparse structure, task-DAG construction, block-cyclic
    mapping with static load balancing.
 4. **Numeric factorisation** — DAG replay with adaptive sparse kernels.
-5. **Triangular solve** — block forward/backward substitution, then
-   un-permutation and un-scaling of the solution.
+5. **Triangular solve** — block forward/backward substitution through the
+   engine named by ``options.engine`` (the same scheduler core as the
+   numeric phase), then un-permutation and un-scaling of the solution.
 
 Every phase's wall-clock time is recorded in :attr:`PanguLU.phase_seconds`
 (the quantity compared in the paper's Figs. 11 and 15).
+
+:meth:`PanguLU.factorize` returns a :class:`Factorization` — a picklable
+factor-once/solve-many handle that owns phase 5: it can be shipped to
+another process and solve fresh right-hand sides there without
+refactorising (the Newton-iteration workload of the paper's
+introduction).  ``PanguLU.solve`` / ``solve_transposed`` / ``refactorize``
+delegate to it.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
@@ -33,15 +42,15 @@ from ..symbolic import SymbolicResult, symbolic_symmetric
 from .blocking import BlockMatrix, block_partition, choose_block_size
 from .dag import TaskDAG, build_dag
 from .mapping import ProcessGrid, assign_tasks, balance_loads
-from .numeric import FactorizeStats, NumericOptions, factorize
+from .numeric import FactorizeStats, NumericOptions
 from .tsolve import (
-    block_backward,
+    TSolveStats,
     block_backward_trans,
-    block_forward,
     block_forward_trans,
 )
+from .tsolve_dag import build_tsolve_dag
 
-__all__ = ["SolverOptions", "PanguLU"]
+__all__ = ["SolverOptions", "Factorization", "PanguLU"]
 
 
 def _perm_sign(perm: np.ndarray) -> float:
@@ -88,31 +97,35 @@ class SolverOptions:
     load_balance:
         Apply the static time-slice balancing to the task assignment.
     engine:
-        Execution engine for the numeric phase, resolved through the
-        registry in :mod:`repro.runtime.engines`: ``"sequential"``,
-        ``"threaded"`` (``n_workers`` threads) or ``"distributed"``
-        (``nprocs`` ranks over a message transport).  ``None`` (default)
-        picks ``"threaded"`` when ``n_workers > 1``, else
-        ``"sequential"``.
+        Execution engine for the numeric phase **and** for the triangular
+        solves of phase 5, resolved through the registries in
+        :mod:`repro.runtime.engines`: ``"sequential"``, ``"threaded"``
+        (``n_workers`` threads) or ``"distributed"`` (``nprocs`` ranks
+        over a message transport).  ``None`` (default) picks
+        ``"threaded"`` when ``n_workers > 1``, else ``"sequential"``.
+        All engines produce bit-identical solutions — the solve DAG
+        totally orders the writers of every RHS segment.
     n_workers:
         Worker threads for the ``"threaded"`` engine
         (:func:`repro.runtime.factorize_threaded`).
     trace_events:
         Record structured scheduler events (task start/end, message
-        send/recv, ready-queue depth) during the numeric phase; after
-        :meth:`PanguLU.factorize` the recorder is available as
-        ``solver.recorder`` and can be serialised with
-        :func:`repro.runtime.write_recorder_trace`.
+        send/recv, ready-queue depth) during the numeric phase and the
+        triangular solves; after :meth:`PanguLU.factorize` the recorder
+        is available as ``solver.recorder`` (solve-task lanes are
+        appended to it by each :meth:`PanguLU.solve`) and can be
+        serialised with :func:`repro.runtime.write_recorder_trace`.
     refine_steps:
         Iterative-refinement sweeps after the triangular solves.  Static
         pivoting (MC64 + GESP pivot replacement) trades factorisation-time
         stability for a possibly larger residual; a few cheap refinement
         steps recover it — the same recipe SuperLU_DIST applies.
     validate_concurrency:
-        Run the numeric phase under the
+        Run the numeric phase and the triangular solves under the
         :mod:`repro.devtools.racecheck` invariant checker: single writer
-        per block slot, exactly-once task completion, no ready-heap
-        re-issue, nothing dropped.  A violation raises
+        per block slot (RHS segment for the solves), exactly-once task
+        completion, no ready-heap re-issue, nothing dropped.  A violation
+        raises
         :class:`~repro.devtools.racecheck.ConcurrencyViolation` naming
         the tasks and workers involved.  Also enabled globally by
         setting the ``REPRO_CHECK`` environment variable to a non-zero
@@ -136,6 +149,239 @@ class SolverOptions:
         if self.engine is not None:
             return self.engine
         return "threaded" if self.n_workers > 1 else "sequential"
+
+
+class Factorization:
+    """A factor-once/solve-many handle: everything phase 5 needs.
+
+    Produced by :meth:`PanguLU.factorize`; owns the factored blocks, the
+    scalings/permutations of phase 1, and the executable solve DAGs, and
+    solves any number of right-hand sides through the engine named by
+    ``options.engine`` — without touching the original :class:`PanguLU`
+    (which delegates its own ``solve``/``solve_transposed``/
+    ``refactorize`` here).
+
+    The handle is **picklable**: the pattern-bound execution-plan cache
+    (which holds a lock and is cheap to rebuild lazily) is dropped on
+    serialisation, everything else round-trips, so a factorisation
+    computed once can be shipped to worker processes that each solve
+    their own right-hand sides.
+
+    Attributes
+    ----------
+    solve_count, last_solve_seconds, total_solve_seconds:
+        Accounting across :meth:`solve`/:meth:`solve_transposed` calls —
+        ``total_solve_seconds`` accumulates (it is what
+        ``PanguLU.phase_seconds["solve"]`` reports), ``last_solve_seconds``
+        is the most recent call alone.
+    last_tsolve_stats:
+        :class:`~repro.core.tsolve.TSolveStats` of the most recent
+        engine-driven sweep pair (task counts, message bytes for the
+        distributed engine).
+    """
+
+    def __init__(
+        self,
+        a: CSCMatrix,
+        options: SolverOptions,
+        *,
+        row_scale: np.ndarray,
+        col_scale: np.ndarray,
+        row_perm: np.ndarray,
+        col_perm: np.ndarray,
+        symbolic: SymbolicResult,
+        reordered: CSCMatrix,
+        blocks: BlockMatrix,
+        dag: TaskDAG,
+        stats: FactorizeStats,
+    ) -> None:
+        self.a = a
+        self.options = options
+        self.row_scale = row_scale
+        self.col_scale = col_scale
+        self.row_perm = row_perm
+        self.col_perm = col_perm
+        self.symbolic = symbolic
+        self.reordered = reordered
+        self.blocks = blocks
+        self.dag = dag
+        self.stats = stats
+        self.solve_count = 0
+        self.last_solve_seconds = 0.0
+        self.total_solve_seconds = 0.0
+        self.refactorize_seconds = 0.0
+        self.last_tsolve_stats: TSolveStats | None = None
+        # executable solve DAGs, keyed by engine placement (the local
+        # engines share one single-owner DAG; distributed needs the
+        # block-cyclic owner rule of its rank count)
+        self._tsolve_dags: dict = {}
+
+    @property
+    def n(self) -> int:
+        return self.a.nrows
+
+    # ------------------------------------------------------------------
+    # engine dispatch
+    # ------------------------------------------------------------------
+    def _tsolve_dag(self):
+        """The executable solve DAG for the current engine (cached —
+        patterns are immutable post-symbolic, so it survives repeated
+        solves and refactorisations)."""
+        if self.options.resolved_engine() == "distributed":
+            nprocs = max(1, self.options.nprocs)
+            key = ("distributed", nprocs)
+            owner = ProcessGrid.square(nprocs).owner
+        else:
+            key = ("local", 1)
+
+            def owner(bi: int, bj: int) -> int:
+                return 0
+
+        tdag = self._tsolve_dags.get(key)
+        if tdag is None:
+            tdag = build_tsolve_dag(self.blocks, owner, executable=True)
+            self._tsolve_dags[key] = tdag
+        return tdag
+
+    def apply(self, b: np.ndarray, *, recorder=None) -> np.ndarray:
+        """One pass of the permuted/scaled triangular solves: ``x`` with
+        ``A x ≈ b`` up to static-pivoting error (vector or multi-RHS),
+        executed by the engine named in the options."""
+        from ..runtime.engines import get_tsolve_engine
+
+        rs = self.row_scale if b.ndim == 1 else self.row_scale[:, None]
+        cs = self.col_scale if b.ndim == 1 else self.col_scale[:, None]
+        # Dr A Dc z = Dr b with x = Dc z; rows/cols permuted into block space
+        c_hat = (rs * b)[self.row_perm]
+        engine = get_tsolve_engine(self.options.resolved_engine())
+        z_hat, tstats = engine(
+            self.blocks, self._tsolve_dag(), c_hat, self.options,
+            recorder=recorder,
+        )
+        self.last_tsolve_stats = tstats
+        z = np.empty_like(z_hat)
+        z[self.col_perm] = z_hat
+        return cs * z
+
+    def _apply_transposed(self, b: np.ndarray) -> np.ndarray:
+        """One pass of the transposed solves ``Aᵀ x ≈ b`` (legacy loop
+        sweeps — the transposed direction has no DAG path)."""
+        # Aᵀ x = b  ⇔  Sᵀ w = Dc b with S = Dr A Dc, x = Dr w, and
+        # m2ᵀ v = (Dc b)[col_perm], w[row_perm] = v
+        c_hat = (self.col_scale * b)[self.col_perm]
+        y = block_forward_trans(self.blocks, c_hat)
+        v = block_backward_trans(self.blocks, y)
+        w = np.empty_like(v)
+        w[self.row_perm] = v
+        return self.row_scale * w
+
+    # ------------------------------------------------------------------
+    # solves
+    # ------------------------------------------------------------------
+    def _refine(self, x: np.ndarray, b: np.ndarray, apply_fn, matvec):
+        """``refine_steps`` rounds of iterative refinement of ``x``
+        against ``b``, with ``apply_fn`` the direction-specific factor
+        application and ``matvec`` the matching matrix product."""
+        for _ in range(max(0, self.options.refine_steps)):
+            r = b - matvec(x)
+            if not np.all(np.isfinite(r)):
+                break
+            x = x + apply_fn(r)
+        return x
+
+    def _account(self, t0: float) -> None:
+        self.last_solve_seconds = time.perf_counter() - t0
+        self.total_solve_seconds += self.last_solve_seconds
+        self.solve_count += 1
+
+    def solve(self, b: np.ndarray, *, recorder=None) -> np.ndarray:
+        """Solve ``A x = b`` (vector or ``(n, k)`` multi-RHS panel) with
+        ``refine_steps`` rounds of iterative refinement.  Pass an
+        :class:`~repro.runtime.scheduler.EventRecorder` to append
+        solve-task trace lanes to it."""
+        t0 = time.perf_counter()
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape[0] != self.n or b.ndim > 2:
+            raise ValueError(
+                f"b has shape {b.shape}, expected ({self.n},) or ({self.n}, k)"
+            )
+        mv = self.a.matmat if b.ndim == 2 else self.a.matvec
+        x = self._refine(self.apply(b, recorder=recorder), b,
+                         lambda r: self.apply(r, recorder=recorder), mv)
+        self._account(t0)
+        return x
+
+    def solve_transposed(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``Aᵀ x = b`` using the same factorisation
+        (``(LU)ᵀ = Uᵀ Lᵀ`` over the block layout — no second
+        factorisation)."""
+        t0 = time.perf_counter()
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (self.n,):
+            raise ValueError(f"b has shape {b.shape}, expected ({self.n},)")
+        x = self._refine(self._apply_transposed(b), b,
+                         self._apply_transposed, self._matvec_t)
+        self._account(t0)
+        return x
+
+    def _matvec_t(self, x: np.ndarray) -> np.ndarray:
+        """``Aᵀ @ x`` for a dense vector."""
+        a = self.a
+        y = np.zeros(a.ncols, dtype=np.float64)
+        cols = np.repeat(np.arange(a.ncols), np.diff(a.indptr))
+        np.add.at(y, cols, a.data * x[a.indices])
+        return y
+
+    # ------------------------------------------------------------------
+    # refactorisation
+    # ------------------------------------------------------------------
+    def refactorize(self, a_new: CSCMatrix) -> FactorizeStats:
+        """Re-run only the numeric phase for a matrix with the *same
+        pattern* but new values (Newton steps in circuit/device
+        simulation — the workload PanguLU's introduction motivates).
+
+        Reuses the reordering, symbolic pattern, blocking, DAG, mapping,
+        execution plans **and** the executable solve DAGs computed for
+        the original matrix; only value injection and the numeric
+        factorisation are repeated.
+        """
+        if a_new.shape != self.a.shape:
+            raise ValueError("refactorize requires a same-shape matrix")
+        if not (
+            np.array_equal(a_new.indptr, self.a.indptr)
+            and np.array_equal(a_new.indices, self.a.indices)
+        ):
+            raise ValueError("refactorize requires the original sparsity pattern")
+        t0 = time.perf_counter()
+        self.a = a_new
+        work = a_new.scale(self.row_scale, self.col_scale).permute(
+            self.row_perm, self.col_perm
+        )
+        self.reordered = ensure_diagonal(work)
+        from ..runtime.engines import get_engine
+        from ..symbolic import fill_in_values
+
+        refreshed = fill_in_values(self.symbolic.filled.pattern_copy(), work)
+        bs = self.blocks.bs
+        plan_cache = self.blocks.plan_cache
+        self.blocks = block_partition(refreshed, bs)
+        # same pattern ⇒ same blocking ⇒ same storage slots: the execution
+        # plans and the solve DAGs (which hold block indices, not block
+        # references) built for the previous factorisation stay valid
+        self.blocks.plan_cache = plan_cache
+        engine = get_engine(self.options.resolved_engine())
+        self.stats = engine(self.blocks, self.dag, self.options)
+        self.refactorize_seconds = time.perf_counter() - t0
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        # the plan cache holds a lock and is rebuilt lazily on first use
+        state["blocks"] = dataclasses.replace(self.blocks, plan_cache=None)
+        return state
 
 
 class PanguLU:
@@ -181,6 +427,7 @@ class PanguLU:
         self.numeric_stats: FactorizeStats | None = None
         self.recorder = None  # EventRecorder of the last factorize, if traced
         self._factorized = False
+        self._fact: Factorization | None = None
 
     # ------------------------------------------------------------------
     # phases
@@ -261,16 +508,24 @@ class PanguLU:
         self.phase_seconds["preprocess"] = time.perf_counter() - t0
         return self.blocks
 
-    def factorize(self) -> FactorizeStats:
-        """Phase 4: numeric factorisation (idempotent).
+    def factorize(self) -> Factorization:
+        """Phase 4: numeric factorisation (idempotent — repeated calls
+        return the same :class:`Factorization` handle).
 
         Dispatches to the engine named by ``options.engine`` through the
         registry in :mod:`repro.runtime.engines` — every engine drains
         the same DAG through the shared scheduler core and produces the
-        same factors.
+        same factors.  The returned handle owns phase 5 (and is
+        picklable, so it can solve in other processes); ``solve`` /
+        ``solve_transposed`` / ``refactorize`` on this object delegate
+        to it.
         """
         if self._factorized:
-            return self.numeric_stats
+            if self._fact is None:
+                # blocks were factorised externally (e.g. by calling an
+                # engine directly) — wrap them in a handle all the same
+                self._fact = self._make_handle()
+            return self._fact
         if self.blocks is None:
             self.preprocess()
         t0 = time.perf_counter()
@@ -284,44 +539,40 @@ class PanguLU:
         )
         self.phase_seconds["numeric"] = time.perf_counter() - t0
         self._factorized = True
-        return self.numeric_stats
+        self._fact = self._make_handle()
+        return self._fact
 
-    def _apply_factors(self, b: np.ndarray) -> np.ndarray:
-        """One pass of the permuted/scaled triangular solves: ``x`` with
-        ``A x ≈ b`` up to static-pivoting error (vector or multi-RHS)."""
-        rs = self.row_scale if b.ndim == 1 else self.row_scale[:, None]
-        cs = self.col_scale if b.ndim == 1 else self.col_scale[:, None]
-        # Dr A Dc z = Dr b with x = Dc z; rows/cols permuted into block space
-        c_hat = (rs * b)[self.row_perm]
-        y = block_forward(self.blocks, c_hat)
-        z_hat = block_backward(self.blocks, y)
-        z = np.empty_like(z_hat)
-        z[self.col_perm] = z_hat
-        return cs * z
+    def _make_handle(self) -> Factorization:
+        return Factorization(
+            self.a, self.options,
+            row_scale=self.row_scale, col_scale=self.col_scale,
+            row_perm=self.row_perm, col_perm=self.col_perm,
+            symbolic=self.symbolic, reordered=self._reordered,
+            blocks=self.blocks, dag=self.dag, stats=self.numeric_stats,
+        )
+
+    @property
+    def solve_count(self) -> int:
+        """Solves performed against the current factorisation."""
+        return self._fact.solve_count if self._fact is not None else 0
+
+    @property
+    def last_solve_seconds(self) -> float:
+        """Wall-clock of the most recent solve alone
+        (``phase_seconds["solve"]`` accumulates across solves)."""
+        return self._fact.last_solve_seconds if self._fact is not None else 0.0
 
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Phase 5: solve ``A x = b``, with ``refine_steps`` rounds of
-        iterative refinement.
+        iterative refinement, through the engine named by
+        ``options.engine`` (delegates to the :class:`Factorization`).
 
         ``b`` may be a vector of length ``n`` or an ``(n, k)`` array of
         ``k`` simultaneous right-hand sides.
         """
-        self.factorize()
-        t0 = time.perf_counter()
-        b = np.asarray(b, dtype=np.float64)
-        if b.shape[0] != self.a.nrows or b.ndim > 2:
-            raise ValueError(
-                f"b has shape {b.shape}, expected ({self.a.nrows},) or "
-                f"({self.a.nrows}, k)"
-            )
-        mv = self.a.matmat if b.ndim == 2 else self.a.matvec
-        x = self._apply_factors(b)
-        for _ in range(max(0, self.options.refine_steps)):
-            r = b - mv(x)
-            if not np.all(np.isfinite(r)):
-                break
-            x = x + self._apply_factors(r)
-        self.phase_seconds["solve"] = time.perf_counter() - t0
+        fact = self.factorize()
+        x = fact.solve(b, recorder=self.recorder)
+        self.phase_seconds["solve"] = fact.total_solve_seconds
         return x
 
     def solve_transposed(self, b: np.ndarray) -> np.ndarray:
@@ -331,37 +582,20 @@ class PanguLU:
         factorisation.  Needed by the 1-norm condition estimator and by
         adjoint/sensitivity computations in circuit and PDE workloads.
         """
-        self.factorize()
-        b = np.asarray(b, dtype=np.float64)
-        if b.shape != (self.a.nrows,):
-            raise ValueError(f"b has shape {b.shape}, expected ({self.a.nrows},)")
-        # Aᵀ x = b  ⇔  Sᵀ w = Dc b with S = Dr A Dc, x = Dr w, and
-        # m2ᵀ v = (Dc b)[col_perm], w[row_perm] = v
-        c_hat = (self.col_scale * b)[self.col_perm]
-        y = block_forward_trans(self.blocks, c_hat)
-        v = block_backward_trans(self.blocks, y)
-        w = np.empty_like(v)
-        w[self.row_perm] = v
-        x = self.row_scale * w
-        for _ in range(max(0, self.options.refine_steps)):
-            r = b - self._matvec_t(x)
-            if not np.all(np.isfinite(r)):
-                break
-            c_hat = (self.col_scale * r)[self.col_perm]
-            y = block_forward_trans(self.blocks, c_hat)
-            v = block_backward_trans(self.blocks, y)
-            w = np.empty_like(v)
-            w[self.row_perm] = v
-            x = x + self.row_scale * w
+        fact = self.factorize()
+        x = fact.solve_transposed(b)
+        self.phase_seconds["solve"] = fact.total_solve_seconds
         return x
+
+    def _apply_factors(self, b: np.ndarray) -> np.ndarray:
+        """One pass of the permuted/scaled triangular solves (delegates
+        to :meth:`Factorization.apply`)."""
+        return self.factorize().apply(b, recorder=self.recorder)
 
     def _matvec_t(self, x: np.ndarray) -> np.ndarray:
         """``Aᵀ @ x`` for a dense vector."""
-        a = self.a
-        y = np.zeros(a.ncols, dtype=np.float64)
-        cols = np.repeat(np.arange(a.ncols), np.diff(a.indptr))
-        np.add.at(y, cols, a.data * x[a.indices])
-        return y
+        fact = self.factorize()
+        return fact._matvec_t(x)
 
     def slogdet(self) -> tuple[float, float]:
         """``(sign, log|det A|)`` from the factorisation (numpy.slogdet
@@ -418,38 +652,37 @@ class PanguLU:
         pattern* but new values (Newton steps in circuit/device
         simulation — the workload PanguLU's introduction motivates).
 
-        Reuses the reordering, symbolic pattern, blocking, DAG and mapping
-        computed for the original matrix; only value injection and the
-        numeric factorisation are repeated.
+        Delegates to :meth:`Factorization.refactorize`, which reuses the
+        reordering, symbolic pattern, blocking, DAG, mapping, execution
+        plans and solve DAGs computed for the original matrix; only value
+        injection and the numeric factorisation are repeated.
         """
-        if a_new.shape != self.a.shape:
-            raise ValueError("refactorize requires a same-shape matrix")
-        if not (
-            np.array_equal(a_new.indptr, self.a.indptr)
-            and np.array_equal(a_new.indices, self.a.indices)
-        ):
-            raise ValueError("refactorize requires the original sparsity pattern")
-        if self.blocks is None:
-            self.preprocess()
-        t0 = time.perf_counter()
-        self.a = a_new
-        work = a_new.scale(self.row_scale, self.col_scale).permute(
-            self.row_perm, self.col_perm
-        )
-        self._reordered = ensure_diagonal(work)
-        from ..symbolic import fill_in_values
-
-        refreshed = fill_in_values(self.symbolic.filled.pattern_copy(), work)
-        bs = self.blocks.bs
-        plan_cache = self.blocks.plan_cache
-        self.blocks = block_partition(refreshed, bs)
-        # same pattern ⇒ same blocking ⇒ same storage slots: the execution
-        # plans built for the previous factorisation stay valid verbatim
-        self.blocks.plan_cache = plan_cache
-        self.numeric_stats = factorize(self.blocks, self.dag, self.options.numeric)
-        self.phase_seconds["numeric"] = time.perf_counter() - t0
+        if self._fact is None:
+            if self.blocks is None:
+                self.preprocess()
+            # value swap before the first numeric run: factorise the new
+            # values directly instead of factorising twice
+            if a_new.shape != self.a.shape:
+                raise ValueError("refactorize requires a same-shape matrix")
+            if not (
+                np.array_equal(a_new.indptr, self.a.indptr)
+                and np.array_equal(a_new.indices, self.a.indices)
+            ):
+                raise ValueError(
+                    "refactorize requires the original sparsity pattern"
+                )
+            fact = self.factorize()
+            stats = fact.refactorize(a_new)
+        else:
+            stats = self._fact.refactorize(a_new)
+        # keep the facade's view of the phase products in step
+        self.a = self._fact.a
+        self._reordered = self._fact.reordered
+        self.blocks = self._fact.blocks
+        self.numeric_stats = stats
+        self.phase_seconds["numeric"] = self._fact.refactorize_seconds
         self._factorized = True
-        return self.numeric_stats
+        return stats
 
     def estimate(
         self,

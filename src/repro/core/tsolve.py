@@ -7,14 +7,44 @@ the diagonal blocks plus the unit-lower part of each diagonal block) and
 Both sweeps reuse the two-layer structure: the diagonal block solves are
 within-block sparse substitutions; the off-diagonal updates are block
 mat-vecs over stored entries only.
+
+Two execution paths share the same kernels
+(:mod:`repro.kernels.tsolve_kernels`):
+
+* the legacy **loop sweeps** :func:`block_forward` / :func:`block_backward`
+  — fixed k-ascending/-descending order, no scheduler (also the transposed
+  solves, which have no DAG path);
+* the **scheduler path** — :func:`build_tsolve_dag(..., executable=True)
+  <repro.core.tsolve_dag.build_tsolve_dag>` tasks drained through the
+  shared :class:`~repro.runtime.scheduler.SchedulerCore`, exactly like the
+  numeric phase.  :func:`tsolve_sequential` is the one-lane replay
+  (this module's analogue of :func:`repro.core.numeric.factorize`); the
+  threaded and distributed variants live in :mod:`repro.runtime` and are
+  dispatched by name through :mod:`repro.runtime.engines`.  Same-target
+  updates are chained in the DAG, so every engine reproduces the loop
+  sweeps' floating-point operation order bit-for-bit.
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
+
 import numpy as np
 
+from ..kernels.plans import PlanCache
+from ..kernels.tsolve_kernels import (
+    SpMVPlan,
+    build_spmv_plan,
+    diagb_seg,
+    diagf_seg,
+    updb_seg,
+    updf_seg,
+)
+from ..runtime.scheduler import EventRecorder, SchedulerCore
 from ..sparse.csc import CSCMatrix
 from .blocking import BlockMatrix
+from .tsolve_dag import TSolveDAG, TSolveTaskType, build_tsolve_dag
 
 __all__ = [
     "solve_lower_unit",
@@ -25,58 +55,34 @@ __all__ = [
     "block_backward_trans",
     "solve_lower_trans_u",
     "solve_upper_trans_l",
+    "TSolveStats",
+    "tsolve_entries",
+    "tsolve_core",
+    "tsolve_write_slots",
+    "tsolve_task_label",
+    "resolve_spmv_plan",
+    "execute_tsolve_task",
+    "tsolve_sequential",
 ]
 
 
 def solve_lower_unit(diag: CSCMatrix, y: np.ndarray) -> None:
     """In-place ``y ← L⁻¹ y`` with the unit-lower part of a factored
-    diagonal block.  ``y`` may be a vector or a 2-D multi-RHS panel."""
-    n = diag.ncols
-    data = diag.data
-    multi = y.ndim == 2
-    for j in range(n):
-        yj = y[j]
-        if not (yj.any() if multi else yj != 0.0):
-            continue
-        sl = diag.col_slice(j)
-        rows = diag.indices[sl]
-        start = int(np.searchsorted(rows, j + 1))
-        if start < rows.size:
-            if multi:
-                y[rows[start:]] -= np.outer(data[sl][start:], yj)
-            else:
-                y[rows[start:]] -= data[sl][start:] * yj
+    diagonal block (alias of :func:`repro.kernels.tsolve_kernels.diagf_seg`,
+    kept under its historical name)."""
+    diagf_seg(diag, y)
 
 
 def solve_upper(diag: CSCMatrix, y: np.ndarray) -> None:
     """In-place ``y ← U⁻¹ y`` with the upper part (incl. diagonal) of a
-    factored diagonal block.  ``y`` may be a vector or a 2-D panel."""
-    n = diag.ncols
-    data = diag.data
-    multi = y.ndim == 2
-    for j in range(n - 1, -1, -1):
-        sl = diag.col_slice(j)
-        rows = diag.indices[sl]
-        vals = data[sl]
-        dpos = int(np.searchsorted(rows, j))
-        if dpos >= rows.size or rows[dpos] != j or vals[dpos] == 0.0:
-            raise ZeroDivisionError(f"zero or missing U diagonal at {j}")
-        y[j] /= vals[dpos]
-        yj = y[j]
-        if dpos > 0 and (yj.any() if multi else yj != 0.0):
-            if multi:
-                y[rows[:dpos]] -= np.outer(vals[:dpos], yj)
-            else:
-                y[rows[:dpos]] -= vals[:dpos] * yj
+    factored diagonal block (alias of
+    :func:`repro.kernels.tsolve_kernels.diagb_seg`)."""
+    diagb_seg(diag, y)
 
 
 def _block_matvec_sub(blk: CSCMatrix, x_seg: np.ndarray, y_seg: np.ndarray) -> None:
     """``y_seg -= blk @ x_seg`` over stored entries only (vector or panel)."""
-    cols = np.repeat(np.arange(blk.ncols), np.diff(blk.indptr))
-    if x_seg.ndim == 2:
-        np.subtract.at(y_seg, blk.indices, blk.data[:, None] * x_seg[cols])
-    else:
-        np.subtract.at(y_seg, blk.indices, blk.data * x_seg[cols])
+    updf_seg(y_seg, blk, x_seg)
 
 
 def block_forward(f: BlockMatrix, b: np.ndarray) -> np.ndarray:
@@ -209,3 +215,196 @@ def block_backward_trans(f: BlockMatrix, y: np.ndarray) -> np.ndarray:
         assert diag is not None
         solve_upper_trans_l(diag, x[seg])
     return x
+
+
+# ----------------------------------------------------------------------
+# the scheduler path: TSolveDAG tasks through the shared SchedulerCore
+# ----------------------------------------------------------------------
+
+_KIND_NAMES = {int(t): t.name for t in TSolveTaskType}
+
+#: task kinds that write the forward (`y`) array / the backward (`x`) array
+_Y_WRITERS = (int(TSolveTaskType.DIAG_F), int(TSolveTaskType.UPD_F))
+
+
+@dataclass
+class TSolveStats:
+    """Accounting of one engine-driven triangular solve (both sweeps)."""
+
+    engine: str = "sequential"
+    tasks_executed: int = 0
+    nrhs: int = 1
+    n_workers: int = 1
+    n_procs: int = 1
+    messages_sent: int = 0
+    seg_bytes_sent: float = 0.0
+    max_ready_depth: int = 0
+    seconds: float = 0.0
+
+
+def tsolve_task_label(tdag: TSolveDAG, tid: int) -> str:
+    """Trace label of a solve task: ``DIAG_F(k=3)`` / ``UPD_B(9→2)``."""
+    kind = int(tdag.kinds[tid])
+    k, tgt = int(tdag.k_of[tid]), int(tdag.target[tid])
+    name = _KIND_NAMES[kind]
+    if kind in (TSolveTaskType.DIAG_F, TSolveTaskType.DIAG_B):
+        return f"{name}(k={k})"
+    return f"{name}({k}→{tgt})"
+
+
+def tsolve_entries(tdag: TSolveDAG, nb: int) -> list[tuple[int, int, int]]:
+    """Precomputed ready-heap entries: forward tasks by ascending source
+    segment, backward tasks by descending — the elimination-step priority
+    of Section 4.4 carried over to the solve sweeps."""
+    entries = []
+    for tid in range(len(tdag)):
+        kind = int(tdag.kinds[tid])
+        k = int(tdag.k_of[tid])
+        prio = k if kind in _Y_WRITERS else 2 * nb - 1 - k
+        entries.append((prio, kind, tid))
+    return entries
+
+
+def tsolve_core(
+    tdag: TSolveDAG,
+    nb: int,
+    *,
+    owned=None,
+    recorder: EventRecorder | None = None,
+    lane: int = 0,
+) -> SchedulerCore:
+    """A :class:`SchedulerCore` over the solve DAG's flat arrays."""
+    return SchedulerCore(
+        tsolve_entries(tdag, nb),
+        [np.asarray(s, dtype=np.int64) for s in tdag.successors],
+        tdag.n_deps,
+        owned=owned,
+        recorder=recorder,
+        lane=lane,
+    )
+
+
+def tsolve_write_slots(tdag: TSolveDAG, tid: int, nb: int) -> tuple[int, ...]:
+    """Race-checker slots a task writes: slot ``i`` is the ``y`` segment
+    ``i``, slot ``nb + i`` the ``x`` segment ``i``.  ``DIAG_F`` claims
+    both (it finishes ``y[i]`` and seeds ``x[i]``)."""
+    kind = int(tdag.kinds[tid])
+    tgt = int(tdag.target[tid])
+    if kind == TSolveTaskType.DIAG_F:
+        return (tgt, nb + tgt)
+    if kind == TSolveTaskType.UPD_F:
+        return (tgt,)
+    return (nb + tgt,)
+
+
+def resolve_spmv_plan(
+    f, tgt: int, k: int, blk: CSCMatrix, plans: PlanCache | None
+) -> SpMVPlan | None:
+    """The cached scatter plan of update block ``(tgt, k)``, built on
+    first use.  Keyed by storage slot like the factorisation plans —
+    patterns are immutable post-symbolic, so the plan survives repeated
+    solves and refactorisations."""
+    if plans is None:
+        return None
+    return plans.get(("spmv", f.block_slot(tgt, k)), lambda: build_spmv_plan(blk))
+
+
+def execute_tsolve_task(
+    f,
+    tdag: TSolveDAG,
+    tid: int,
+    y: np.ndarray,
+    x: np.ndarray,
+    plans: PlanCache | None = None,
+) -> None:
+    """Run one solve task against the forward/backward RHS arrays.
+
+    The shared per-task entry point of the sequential, threaded and
+    distributed solve engines (the phase-5 analogue of
+    :func:`repro.core.numeric.execute_task`).  ``f`` is anything exposing
+    ``bs``/``block``/``block_order``/``block_slot`` — a
+    :class:`BlockMatrix` or a distributed rank's local view.
+    """
+    kind = int(tdag.kinds[tid])
+    k = int(tdag.k_of[tid])
+    tgt = int(tdag.target[tid])
+    bs = f.bs
+    seg = slice(tgt * bs, tgt * bs + f.block_order(tgt))
+    if kind == TSolveTaskType.DIAG_F:
+        diagf_seg(f.block(k, k), y[seg])
+        x[seg] = y[seg]  # seed the backward sweep with the forward result
+    elif kind == TSolveTaskType.DIAG_B:
+        diagb_seg(f.block(k, k), x[seg])
+    else:
+        blk = f.block(tgt, k)
+        src = slice(k * bs, k * bs + f.block_order(k))
+        plan = resolve_spmv_plan(f, tgt, k, blk, plans)
+        if kind == TSolveTaskType.UPD_F:
+            updf_seg(y[seg], blk, y[src], plan)
+        else:
+            updb_seg(x[seg], blk, x[src], plan)
+
+
+def _check_rhs(n: int, b: np.ndarray) -> np.ndarray:
+    y = np.array(b, dtype=np.float64)
+    if y.shape[0] != n or y.ndim > 2:
+        raise ValueError(f"rhs has shape {y.shape}, expected ({n},) or ({n}, k)")
+    return y
+
+
+def tsolve_sequential(
+    f: BlockMatrix,
+    b: np.ndarray,
+    *,
+    tdag: TSolveDAG | None = None,
+    plans: PlanCache | None = None,
+    recorder: EventRecorder | None = None,
+    checker=None,
+) -> tuple[np.ndarray, TSolveStats]:
+    """Both triangular sweeps as a one-lane replay of the solve DAG —
+    the scheduler-path correctness reference (bit-identical to
+    ``block_backward(f, block_forward(f, b))``).
+
+    ``b`` may be a vector or an ``(n, k)`` multi-RHS panel.  Pass a
+    ``recorder`` for solve-task trace lanes and a ``checker``
+    (:class:`~repro.devtools.racecheck.RaceChecker`) to audit the
+    single-writer discipline over RHS segments.
+    """
+    if tdag is None:
+        tdag = build_tsolve_dag(f, lambda bi, bj: 0, executable=True)
+    y = _check_rhs(f.n, b)
+    x = np.empty_like(y)
+    t_start = time.perf_counter()
+    core = tsolve_core(tdag, f.nb, recorder=recorder)
+    if checker is not None:
+        from ..devtools.racecheck import CheckedSchedulerCore
+
+        core = CheckedSchedulerCore.adopt(core, checker)
+    stats = TSolveStats(nrhs=1 if y.ndim == 1 else y.shape[1])
+    # pop/complete auditing is wired into the adopted core; only the
+    # write claims are reported here where the slots are known
+    while (tid := core.pop()) is not None:
+        slots = tsolve_write_slots(tdag, tid, f.nb)
+        if checker is not None:
+            for s in slots:
+                checker.begin_write(s, tid, 0)
+        t0 = recorder.now() if recorder else 0.0
+        try:
+            execute_tsolve_task(f, tdag, tid, y, x, plans)
+        finally:
+            if checker is not None:
+                for s in slots:
+                    checker.end_write(s, tid, 0)
+        if recorder:
+            recorder.task(
+                0, tsolve_task_label(tdag, tid),
+                _KIND_NAMES[int(tdag.kinds[tid])], t0, recorder.now(), tid,
+            )
+        core.complete(tid)
+        stats.tasks_executed += 1
+    core.check("tsolve-sequential")
+    if checker is not None:
+        checker.final_check(core)
+    stats.max_ready_depth = core.max_ready_depth
+    stats.seconds = time.perf_counter() - t_start
+    return x, stats

@@ -14,6 +14,25 @@ schedule and simulate it:
 The backward sweep chains off the forward one per segment (``DIAG_B(k)``
 additionally waits for ``DIAG_F(k)``), so the two solves pipeline the way
 the real distributed phase does.
+
+Two consumers share this graph.  The *simulator* (``runtime/adapters.py``)
+prices the default build, whose dependencies capture mathematical
+readiness only.  The *real engines* (sequential / threaded / distributed,
+see :mod:`repro.core.tsolve` and :mod:`repro.runtime.engines`) request
+``executable=True``, which adds the edges actual concurrent execution
+needs on top:
+
+* the updates into each target segment are **chained** in the order the
+  legacy sequential sweeps apply them (ascending source ``k`` forward,
+  descending backward) — every segment then has a totally ordered writer
+  sequence, making any topological execution *bit-identical* to
+  :func:`repro.core.tsolve.block_forward` / ``block_backward``;
+* ``DIAG_F(i)`` precedes the first backward update into segment ``i``
+  (``DIAG_F`` seeds the backward array from the forward result, so the
+  seed must land before ``UPD_B`` writes accumulate on it);
+* per-task write sequence numbers (``seq_y`` / ``seq_x``) record each
+  writer's position in its segment's order, letting the distributed
+  engine discard stale segment payloads delivered out of order.
 """
 
 from __future__ import annotations
@@ -37,7 +56,14 @@ class TSolveTaskType(enum.IntEnum):
 
 @dataclass
 class TSolveDAG:
-    """Flat arrays describing the triangular-solve task graph."""
+    """Flat arrays describing the triangular-solve task graph.
+
+    ``seq_y`` / ``seq_x`` are only populated by ``executable=True``
+    builds: the position of each task in its target segment's total write
+    order on the forward (``y``) and backward (``x``) arrays, −1 for
+    tasks that do not write the array.  ``DIAG_F`` appears in both — it
+    finishes the ``y`` segment and seeds the matching ``x`` segment.
+    """
 
     kinds: np.ndarray
     k_of: np.ndarray          # source segment
@@ -48,6 +74,8 @@ class TSolveDAG:
     successors: list[list[int]]
     owner: np.ndarray
     total_flops: float
+    seq_y: np.ndarray | None = None
+    seq_x: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.kinds)
@@ -65,10 +93,19 @@ def _diag_solve_flops(f: BlockMatrix, k: int, *, lower: bool) -> float:
     return 2.0 * strict + (0.0 if lower else n)
 
 
-def build_tsolve_dag(f: BlockMatrix, owner_of_block) -> TSolveDAG:
+def build_tsolve_dag(
+    f: BlockMatrix, owner_of_block, *, executable: bool = False
+) -> TSolveDAG:
     """Build the solve DAG; ``owner_of_block(bi, bj) -> proc`` sets task
     placement (diag tasks on the diagonal block's owner, updates on the
-    off-diagonal block's owner — data stays put, vectors move)."""
+    off-diagonal block's owner — data stays put, vectors move).
+
+    ``executable=True`` additionally chains same-target updates in the
+    legacy sequential application order, orders the backward seed, and
+    fills ``seq_y``/``seq_x`` — the extra structure the real engines need
+    for race-free, bit-identical concurrent execution (module docstring).
+    The default build is the looser graph the simulator prices.
+    """
     nb = f.nb
     kinds: list[int] = []
     k_of: list[int] = []
@@ -142,6 +179,38 @@ def build_tsolve_dag(f: BlockMatrix, owner_of_block) -> TSolveDAG:
     for k in range(nb):
         dep(diag_f[k], diag_b[k])
 
+    seq_y = seq_x = None
+    if executable:
+        seq_y = np.full(n, -1, dtype=np.int64)
+        seq_x = np.full(n, -1, dtype=np.int64)
+        # forward writers of y[i]: UPD_F(k, i) ascending k (the order the
+        # upd_f list already carries), then DIAG_F(i)
+        fwd_chain: dict[int, list[int]] = {}
+        for tid, _k, i in upd_f:
+            fwd_chain.setdefault(i, []).append(tid)
+        for i, chain in fwd_chain.items():
+            for pos, tid in enumerate(chain):
+                seq_y[tid] = pos
+                if pos:
+                    dep(chain[pos - 1], tid)
+        for i in range(nb):
+            seq_y[diag_f[i]] = len(fwd_chain.get(i, ()))
+        # backward writers of x[i]: the DIAG_F(i) seed, UPD_B(k, i)
+        # descending k (the upd_b list order), then DIAG_B(i)
+        bwd_chain: dict[int, list[int]] = {}
+        for tid, _k, i in upd_b:
+            bwd_chain.setdefault(i, []).append(tid)
+        for i in range(nb):
+            seq_x[diag_f[i]] = 0
+        for i, chain in bwd_chain.items():
+            dep(diag_f[i], chain[0])  # the seed lands before updates
+            for pos, tid in enumerate(chain):
+                seq_x[tid] = pos + 1
+                if pos:
+                    dep(chain[pos - 1], tid)
+        for i in range(nb):
+            seq_x[diag_b[i]] = len(bwd_chain.get(i, ())) + 1
+
     return TSolveDAG(
         kinds=np.asarray(kinds, dtype=np.int64),
         k_of=np.asarray(k_of, dtype=np.int64),
@@ -152,4 +221,6 @@ def build_tsolve_dag(f: BlockMatrix, owner_of_block) -> TSolveDAG:
         successors=successors,
         owner=np.asarray(owner, dtype=np.int64),
         total_flops=float(np.sum(flops)),
+        seq_y=seq_y,
+        seq_x=seq_x,
     )

@@ -7,6 +7,11 @@ paired with a ready-heap push, checked for underflow).  A raw store to
 ``core.ready`` from engine code bypasses the underflow guard and the
 race detector, so any such write outside ``runtime/scheduler.py`` (the
 one module allowed to implement the protocol) is flagged.
+
+The rule covers every scheduler consumer — the factorisation engines
+*and* the phase-5 triangular-solve path (``core/tsolve.py``, the
+``tsolve_threaded``/``tsolve_distributed`` engines), which drive the
+same :class:`SchedulerCore` over the solve DAG.
 """
 
 from __future__ import annotations

@@ -9,9 +9,10 @@ state) breaks the engines-agree cross-checks.  The rule enforces, per
 kernel module:
 
 * a ``<role>_*`` kernel writes only through its output parameter (by
-  calling convention: ``getrf_*``/``ssssm_*`` → first parameter,
-  ``gessm_*``/``tstrf_*`` → second) and its ``ws`` workspace — one level
-  of local aliasing (``c_data = c.data``) is resolved;
+  calling convention: ``getrf_*``/``ssssm_*``/``updf_*``/``updb_*`` →
+  first parameter, ``gessm_*``/``tstrf_*``/``diagf_*``/``diagb_*`` →
+  second) and its ``ws`` workspace — one level of local aliasing
+  (``c_data = c.data``) is resolved;
 * no ``import time`` / ``import random`` / ``np.random`` usage;
 * no module-level mutable state except ALL_CAPS registry constants, and
   no ``global`` statements inside kernels.
@@ -26,7 +27,13 @@ from ..astlint import FileContext, Finding, Rule, register
 from ._util import dotted, functions, mutation_roots
 
 #: kernel-role prefix → index of the writable (output) parameter
-_WRITABLE_PARAM = {"getrf": 0, "gessm": 1, "tstrf": 1, "ssssm": 0}
+#: (the tsolve roles cover the phase-5 segment kernels: the diag solves
+#: write their RHS segment — second parameter — and the updates scatter
+#: into their target segment — first parameter)
+_WRITABLE_PARAM = {
+    "getrf": 0, "gessm": 1, "tstrf": 1, "ssssm": 0,
+    "diagf": 1, "diagb": 1, "updf": 0, "updb": 0,
+}
 
 _BANNED_MODULES = {"time", "random"}
 
@@ -68,6 +75,7 @@ class KernelPurityRule(Rule):
         "*/repro/kernels/gessm.py",
         "*/repro/kernels/tstrf.py",
         "*/repro/kernels/ssssm.py",
+        "*/repro/kernels/tsolve_kernels.py",
     )
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:

@@ -66,6 +66,14 @@ from .tstrf import (
     tstrf_g_v2,
     tstrf_g_v3,
 )
+from .tsolve_kernels import (
+    SpMVPlan,
+    build_spmv_plan,
+    diagb_seg,
+    diagf_seg,
+    updb_seg,
+    updf_seg,
+)
 
 __all__ = [
     "KernelType",
@@ -106,4 +114,10 @@ __all__ = [
     "run_tstrf_plan",
     "build_getrf_plan",
     "run_getrf_plan",
+    "SpMVPlan",
+    "build_spmv_plan",
+    "diagf_seg",
+    "diagb_seg",
+    "updf_seg",
+    "updb_seg",
 ]

@@ -47,6 +47,9 @@ _EXPORTS = {
     "register_engine": ".engines",
     "get_engine": ".engines",
     "available_engines": ".engines",
+    "register_tsolve_engine": ".engines",
+    "get_tsolve_engine": ".engines",
+    "available_tsolve_engines": ".engines",
     "Transport": ".transports",
     "MultiprocessingTransport": ".transports",
     "LoopbackTransport": ".transports",
@@ -54,8 +57,10 @@ _EXPORTS = {
     "InjectedFault": ".transports",
     "DistributedStats": ".distributed",
     "factorize_distributed": ".distributed",
+    "tsolve_distributed": ".distributed",
     "ThreadedStats": ".threaded",
     "factorize_threaded": ".threaded",
+    "tsolve_threaded": ".threaded",
 }
 
 __all__ = sorted(_EXPORTS)

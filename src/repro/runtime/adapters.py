@@ -140,6 +140,14 @@ def simulate_tsolve(
     the device's sparse memory roofline (the solve moves the factor's
     entries once) plus the launch overhead, and segments travel between
     processes like factor blocks do.
+
+    This prices the *default* (non-executable) solve DAG, whose edges
+    capture mathematical readiness only.  The real engines
+    (:func:`repro.core.tsolve.tsolve_sequential` and friends) request
+    ``build_tsolve_dag(..., executable=True)``, which adds the
+    per-segment writer chains concurrent execution needs; the simulator
+    deliberately keeps the looser graph — it prices the critical path,
+    it does not race on memory.
     """
     from ..core.mapping import ProcessGrid
     from ..core.tsolve_dag import build_tsolve_dag

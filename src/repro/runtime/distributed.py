@@ -44,6 +44,16 @@ from ..core.blocking import BlockMatrix
 from ..core.dag import TaskDAG, TaskType
 from ..core.mapping import ProcessGrid
 from ..core.numeric import _TTYPE_TO_KTYPE, NumericOptions, execute_task, task_features
+from ..core.tsolve import (
+    TSolveStats,
+    _check_rhs,
+    _KIND_NAMES,
+    execute_tsolve_task,
+    tsolve_core,
+    tsolve_task_label,
+    tsolve_write_slots,
+)
+from ..core.tsolve_dag import TSolveDAG, TSolveTaskType
 from ..kernels.base import Workspace
 from ..sparse.csc import CSCMatrix
 from .scheduler import EventRecorder, SchedulerCore, ready_entry
@@ -55,7 +65,7 @@ from .transports import (
     TransportTimeout,
 )
 
-__all__ = ["DistributedStats", "factorize_distributed"]
+__all__ = ["DistributedStats", "factorize_distributed", "tsolve_distributed"]
 
 logger = logging.getLogger(__name__)
 
@@ -111,6 +121,10 @@ class _LocalView:
         cache — plans are process-local index arrays).
         """
         return bi * self.nb + bj
+
+    def block_order(self, b: int) -> int:
+        """Row/column count of block index ``b`` (the last may be short)."""
+        return min(self.bs, self.n - b * self.bs)
 
 
 def _worker_main(
@@ -391,3 +405,266 @@ def factorize_distributed(
     if errors:
         raise RuntimeError("; ".join(errors))
     return stats
+
+
+# ----------------------------------------------------------------------
+# distributed triangular solve (phase 5 over the same transports)
+# ----------------------------------------------------------------------
+
+def _tsolve_worker_main(
+    rank: int,
+    endpoint: Endpoint,
+    nb: int,
+    bs: int,
+    n: int,
+    owned: list[tuple[int, int, CSCMatrix]],
+    dag_arrays: tuple,
+    b: np.ndarray,
+    use_plans: bool,
+    trace: bool,
+    validate: bool = False,
+) -> None:
+    """Solve-phase worker loop: run owned solve tasks, exchange RHS
+    segments, ship solved ``x`` segments back.
+
+    Each message carries the *segment* a task just wrote (real byte
+    accounting: the segment array's ``nbytes``).  Because transports only
+    order messages per sender, a slow producer's payload can arrive after
+    a newer write to the same segment already landed; the per-task write
+    sequence numbers (``seq_y``/``seq_x`` of the executable DAG) make the
+    receive path idempotent — stale payloads still decrement the
+    dependency counter but no longer touch the array.
+    """
+    (kinds, k_of, target, n_deps, successors, owner_of_task,
+     seq_y, seq_x) = dag_arrays
+    tdag = TSolveDAG(
+        kinds=kinds, k_of=k_of, target=target,
+        flops=np.zeros(len(kinds)), out_bytes=np.zeros(len(kinds)),
+        n_deps=n_deps, successors=successors, owner=owner_of_task,
+        total_flops=0.0, seq_y=seq_y, seq_x=seq_x,
+    )
+    checker = None
+    if validate:
+        from ..devtools.racecheck import CheckedSchedulerCore, RaceChecker
+
+        checker = RaceChecker(label=f"rank {rank}")
+
+    view = _LocalView(nb, bs, n)
+    for bi, bj, blk in owned:
+        view.add(bi, bj, blk)
+
+    from ..kernels.plans import PlanCache
+
+    plans = PlanCache() if use_plans else None
+    recorder = EventRecorder() if trace else None
+    y = np.array(b, dtype=np.float64)
+    x = np.zeros_like(y)
+    my_tasks = np.flatnonzero(owner_of_task == rank)
+    core = tsolve_core(tdag, nb, owned=my_tasks, recorder=recorder, lane=rank)
+    if checker is not None:
+        core = CheckedSchedulerCore.adopt(core, checker)
+
+    # highest write-sequence applied per segment of each RHS array —
+    # local writes and accepted messages both advance it
+    applied_y: dict[int, int] = {}
+    applied_x: dict[int, int] = {}
+    sent_msgs = 0
+    sent_bytes = 0
+
+    def seg_of(tgt: int) -> slice:
+        return slice(tgt * bs, tgt * bs + min(bs, n - tgt * bs))
+
+    def mark_written(tid: int, tgt: int) -> None:
+        if seq_y[tid] >= 0:
+            applied_y[tgt] = max(applied_y.get(tgt, -1), int(seq_y[tid]))
+        if seq_x[tid] >= 0:
+            applied_x[tgt] = max(applied_x.get(tgt, -1), int(seq_x[tid]))
+
+    def absorb(msg) -> None:
+        src_tid, tgt, arr = msg
+        seg = seg_of(tgt)
+        if seq_y[src_tid] >= 0 and seq_y[src_tid] > applied_y.get(tgt, -1):
+            y[seg] = arr
+            applied_y[tgt] = int(seq_y[src_tid])
+        if seq_x[src_tid] >= 0 and seq_x[src_tid] > applied_x.get(tgt, -1):
+            # a DIAG_F payload doubles as the backward seed (x = y there)
+            x[seg] = arr
+            applied_x[tgt] = int(seq_x[src_tid])
+        if recorder is not None:
+            recorder.recv(rank, int(owner_of_task[src_tid]), src_tid, arr.nbytes)
+        core.complete(src_tid)  # remote predecessor: releases local tasks
+
+    def consumers(tid: int) -> set[int]:
+        return {int(owner_of_task[s]) for s in successors[tid]} - {rank}
+
+    try:
+        while not core.done():
+            tid = core.pop()
+            if tid is None:
+                absorb(endpoint.recv())
+                while True:
+                    try:
+                        absorb(endpoint.recv(block=False))
+                    except queue_mod.Empty:
+                        break
+                continue
+            kind = int(kinds[tid])
+            tgt = int(target[tid])
+            slots = tsolve_write_slots(tdag, tid, nb)
+            t0 = time.perf_counter() if recorder else 0.0
+            if checker is not None:
+                for s in slots:
+                    checker.begin_write(s, tid, rank)
+            try:
+                execute_tsolve_task(view, tdag, tid, y, x, plans)
+            finally:
+                if checker is not None:
+                    for s in slots:
+                        checker.end_write(s, tid, rank)
+            mark_written(tid, tgt)
+            if recorder is not None:
+                recorder.task(
+                    rank, tsolve_task_label(tdag, tid), _KIND_NAMES[kind],
+                    t0, time.perf_counter(), tid,
+                )
+            core.complete(tid)
+            endpoint.on_task_executed(core.executed)
+            dests = consumers(tid)
+            if dests:
+                seg = seg_of(tgt)
+                # y for forward writers (a DIAG_F seed equals its y), the
+                # x segment for backward writers
+                arr = np.array(y[seg] if kind in (
+                    TSolveTaskType.DIAG_F, TSolveTaskType.UPD_F
+                ) else x[seg])
+                for w in dests:
+                    endpoint.send(w, (tid, tgt, arr))
+                    sent_msgs += 1
+                    sent_bytes += arr.nbytes
+                    if recorder is not None:
+                        recorder.send(rank, w, tid, arr.nbytes)
+        if checker is not None:
+            checker.final_check(core)
+        # ship home the x segments this rank finished (its DIAG_B tasks)
+        xparts = [
+            (int(target[t]), np.array(x[seg_of(int(target[t]))]))
+            for t in my_tasks
+            if int(kinds[t]) == TSolveTaskType.DIAG_B
+        ]
+        endpoint.post_result(
+            ("ok", rank, int(core.executed), sent_msgs, sent_bytes,
+             xparts, recorder)
+        )
+    except TransportStopped:  # master tore the pool down; exit quietly
+        return
+    except BaseException as exc:
+        try:
+            endpoint.post_result(("error", rank, repr(exc)))
+        except (OSError, ValueError, TransportStopped) as post_exc:
+            # pragma: no cover - result channel gone (master died or
+            # closed the queue); log both failures before exiting
+            logger.error(
+                "tsolve rank %d failed with %r and could not report it "
+                "(result channel gone: %r)", rank, exc, post_exc,
+            )
+
+
+def tsolve_distributed(
+    f: BlockMatrix,
+    tdag: TSolveDAG,
+    b,
+    n_procs: int = 2,
+    *,
+    use_plans: bool = True,
+    timeout: float = 300.0,
+    transport: Transport | None = None,
+    recorder: EventRecorder | None = None,
+    validate: bool = False,
+) -> tuple:
+    """Both triangular sweeps across ``n_procs`` ranks.
+
+    ``tdag`` must be the *executable* solve DAG built with this process
+    count's 2D block-cyclic owner rule
+    (``build_tsolve_dag(f, ProcessGrid.square(n_procs).owner,
+    executable=True)``) — diag solves run on the diagonal block's owner,
+    updates on the off-diagonal block's owner, so factor blocks stay put
+    and only RHS segments travel.  Messages carry real segment bytes
+    (``arr.nbytes``), accounted in the returned stats; the write-sequence
+    guard of :func:`_tsolve_worker_main` keeps out-of-order deliveries
+    harmless, so the gathered solution is bit-identical to
+    :func:`repro.core.tsolve.tsolve_sequential`.  ``transport`` /
+    ``timeout`` / ``recorder`` / ``validate`` behave exactly as in
+    :func:`factorize_distributed`.  Returns ``(x, TSolveStats)``.
+    """
+    if n_procs < 1:
+        raise ValueError("need at least one process")
+    if tdag.seq_y is None:
+        raise ValueError("tsolve_distributed needs an executable solve DAG "
+                         "(build_tsolve_dag(..., executable=True))")
+    y0 = _check_rhs(f.n, b)
+    grid = ProcessGrid.square(n_procs)
+    owned_per_rank: list[list[tuple[int, int, CSCMatrix]]] = [
+        [] for _ in range(n_procs)
+    ]
+    for bj in range(f.nb):
+        rows, blocks = f.blocks_in_column(bj)
+        for bi, blk in zip(rows, blocks):
+            owned_per_rank[grid.owner(int(bi), bj)].append((int(bi), bj, blk))
+
+    dag_arrays = (
+        tdag.kinds, tdag.k_of, tdag.target, tdag.n_deps,
+        tdag.successors, tdag.owner, tdag.seq_y, tdag.seq_x,
+    )
+    transport = transport or MultiprocessingTransport()
+
+    def args_of_rank(rank: int) -> tuple:
+        return (
+            f.nb, f.bs, f.n, owned_per_rank[rank], dag_arrays, y0,
+            use_plans, recorder is not None, validate,
+        )
+
+    t_start = time.perf_counter()
+    transport.start(n_procs, _tsolve_worker_main, args_of_rank)
+
+    stats = TSolveStats(
+        engine="distributed",
+        n_procs=n_procs,
+        nrhs=1 if y0.ndim == 1 else y0.shape[1],
+    )
+    x = np.empty_like(y0)
+    filled = np.zeros(f.nb, dtype=bool)
+    errors: list[str] = []
+    for _ in range(n_procs):
+        try:
+            msg = transport.get_result(timeout)
+        except TransportTimeout as exc:
+            transport.terminate()
+            transport.join(timeout=5)
+            raise RuntimeError(
+                f"distributed tsolve timed out after {timeout}s "
+                f"(ranks no longer alive: {exc.dead_ranks}) — "
+                "worker crash or deadlock"
+            ) from None
+        if msg[0] == "error":
+            errors.append(f"rank {msg[1]}: {msg[2]}")
+            transport.terminate()
+            break
+        _, rank, ntasks, sent, nbytes, xparts, rank_recorder = msg
+        stats.tasks_executed += ntasks
+        stats.messages_sent += sent
+        stats.seg_bytes_sent += nbytes
+        if recorder is not None and rank_recorder is not None:
+            recorder.merge(rank_recorder)
+        for k, arr in xparts:
+            x[k * f.bs:k * f.bs + f.block_order(k)] = arr
+            filled[k] = True
+    transport.join(timeout=30)
+    if errors:
+        raise RuntimeError("; ".join(errors))
+    if not np.all(filled):
+        raise RuntimeError(
+            f"distributed tsolve returned {int(filled.sum())} of {f.nb} "
+            "solution segments"
+        )
+    stats.seconds = time.perf_counter() - t_start
+    return x, stats

@@ -11,7 +11,19 @@ so the :class:`~repro.core.solver.PanguLU` facade (and the CLI's
 counts.  A future engine — async, sharded, multi-backend — is a
 transport plus one :func:`register_engine` call.
 
-Built-ins:
+Phase 5 has a parallel registry: the same three names map to
+*triangular-solve* engines with the signature
+
+``tsolve_engine(blocks, tdag, b, solver_options, *, recorder=None)
+-> (x, TSolveStats)``
+
+registered via :func:`register_tsolve_engine` and dispatched by the
+:class:`~repro.core.solver.Factorization` handle, so one
+``SolverOptions.engine`` string governs both the factorisation and every
+subsequent solve.  All three produce bit-identical solutions (the solve
+DAG totally orders each RHS segment's writers).
+
+Built-ins (both registries):
 
 ========== ==========================================================
 name        substrate
@@ -26,12 +38,20 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-from ..core.numeric import FactorizeStats, factorize
-from .distributed import factorize_distributed
+from ..core.numeric import FactorizeStats, factorize, resolve_plan_cache
+from ..core.tsolve import TSolveStats, tsolve_sequential
+from .distributed import factorize_distributed, tsolve_distributed
 from .scheduler import EventRecorder
-from .threaded import factorize_threaded
+from .threaded import factorize_threaded, tsolve_threaded
 
-__all__ = ["register_engine", "get_engine", "available_engines"]
+__all__ = [
+    "register_engine",
+    "get_engine",
+    "available_engines",
+    "register_tsolve_engine",
+    "get_tsolve_engine",
+    "available_tsolve_engines",
+]
 
 _ENGINES: dict[str, Callable] = {}
 
@@ -119,4 +139,73 @@ def _distributed(
         flops_total=dag.total_flops,
         pivots_replaced=dstats.pivots_replaced,
         planned_tasks=dstats.planned_tasks,
+    )
+
+
+# ----------------------------------------------------------------------
+# phase-5 triangular-solve engines
+# ----------------------------------------------------------------------
+
+_TSOLVE_ENGINES: dict[str, Callable] = {}
+
+
+def register_tsolve_engine(name: str) -> Callable[[Callable], Callable]:
+    """Decorator registering a triangular-solve engine (last wins)."""
+
+    def deco(fn: Callable) -> Callable:
+        _TSOLVE_ENGINES[name] = fn
+        return fn
+
+    return deco
+
+
+def get_tsolve_engine(name: str) -> Callable:
+    """The solve engine registered under ``name``; raises with the list
+    of known names on a miss."""
+    try:
+        return _TSOLVE_ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown tsolve engine {name!r}; "
+            f"available: {available_tsolve_engines()}"
+        ) from None
+
+
+def available_tsolve_engines() -> list[str]:
+    """Sorted names of all registered triangular-solve engines."""
+    return sorted(_TSOLVE_ENGINES)
+
+
+@register_tsolve_engine("sequential")
+def _tsolve_sequential(
+    f, tdag, b, options, *, recorder: EventRecorder | None = None
+) -> tuple:
+    return tsolve_sequential(
+        f, b, tdag=tdag, plans=resolve_plan_cache(f, options.numeric),
+        recorder=recorder,
+        checker=_resolve_checker(options, "tsolve-sequential"),
+    )
+
+
+@register_tsolve_engine("threaded")
+def _tsolve_threaded(
+    f, tdag, b, options, *, recorder: EventRecorder | None = None
+) -> tuple:
+    return tsolve_threaded(
+        f, tdag, b, n_workers=max(1, options.n_workers),
+        plans=resolve_plan_cache(f, options.numeric), recorder=recorder,
+        checker=_resolve_checker(options, "tsolve-threaded"),
+    )
+
+
+@register_tsolve_engine("distributed")
+def _tsolve_distributed(
+    f, tdag, b, options, *, recorder: EventRecorder | None = None
+) -> tuple:
+    from ..devtools.racecheck import validation_enabled
+
+    return tsolve_distributed(
+        f, tdag, b, max(1, options.nprocs),
+        use_plans=options.numeric.use_plans, recorder=recorder,
+        validate=validation_enabled(options),
     )

@@ -18,6 +18,11 @@ sequential driver, the threaded executor and each distributed rank;
   predecessors arrive as messages and are fed to the same
   :meth:`SchedulerCore.complete`.
 
+The triangular solves (phase 5) run the same three engines over the same
+core — :func:`repro.core.tsolve.tsolve_core` builds one from an
+executable :class:`~repro.core.tsolve_dag.TSolveDAG`, and the solve
+tasks flow through ``pop``/``complete`` exactly as factor tasks do.
+
 The core also hosts the structured :class:`EventRecorder` — task
 start/end, message send/recv, ready-queue depth — which
 :mod:`repro.runtime.trace` serialises into Chrome/Perfetto traces of

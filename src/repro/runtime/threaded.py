@@ -30,6 +30,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..core.blocking import BlockMatrix
 from ..core.dag import TaskDAG
 from ..core.numeric import (
@@ -39,10 +41,21 @@ from ..core.numeric import (
     resolve_plan_cache,
     task_features,
 )
+from ..core.tsolve import (
+    TSolveStats,
+    _check_rhs,
+    _KIND_NAMES,
+    execute_tsolve_task,
+    tsolve_core,
+    tsolve_task_label,
+    tsolve_write_slots,
+)
+from ..core.tsolve_dag import TSolveDAG
 from ..kernels.base import Workspace
+from ..kernels.plans import PlanCache
 from .scheduler import EventRecorder, SchedulerCore, WorkerLocal
 
-__all__ = ["ThreadedStats", "factorize_threaded"]
+__all__ = ["ThreadedStats", "factorize_threaded", "tsolve_threaded"]
 
 # shared state and its lock, registered for the `lock-discipline` lint
 # rule: these operations only happen inside `with cond:`
@@ -56,6 +69,13 @@ def _make_block_locks(n: int) -> list[threading.Lock]:
     same target.  A separate function so the race-detector tests can
     replace it with no-op locks and prove the checker catches the
     resulting double write."""
+    return [threading.Lock() for _ in range(n)]
+
+
+def _make_segment_locks(n: int) -> list[threading.Lock]:
+    """One lock per RHS segment slot (``y`` then ``x``) for the threaded
+    triangular solve — the phase-5 counterpart of the per-block locks,
+    and the same monkeypatch seam for the race-detector tests."""
     return [threading.Lock() for _ in range(n)]
 
 
@@ -190,3 +210,120 @@ def factorize_threaded(
     if plans is not None:
         stats.plan_bytes = plans.nbytes
     return stats
+
+
+def tsolve_threaded(
+    f: BlockMatrix,
+    tdag: TSolveDAG,
+    b,
+    *,
+    n_workers: int = 4,
+    plans: PlanCache | None = None,
+    recorder: EventRecorder | None = None,
+    checker=None,
+) -> tuple:
+    """Both triangular sweeps with ``n_workers`` threads over an
+    *executable* solve DAG (:func:`repro.core.tsolve_dag.build_tsolve_dag`
+    with ``executable=True``).
+
+    Same threading policy as :func:`factorize_threaded` — shared
+    :class:`SchedulerCore` under a condition lock, per-segment locks
+    around the RHS writes, ``notify(n)`` wake-ups — and, because the DAG
+    totally orders the writers of every segment, the solution is
+    *bit-identical* to :func:`repro.core.tsolve.tsolve_sequential`.
+    Returns ``(x, TSolveStats)``; ``b`` may be a vector or an ``(n, k)``
+    multi-RHS panel.
+    """
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    if tdag.seq_y is None:
+        raise ValueError("tsolve_threaded needs an executable solve DAG "
+                         "(build_tsolve_dag(..., executable=True))")
+    y = _check_rhs(f.n, b)
+    x = np.empty_like(y)
+    t_start = time.perf_counter()
+    stats = TSolveStats(
+        engine="threaded",
+        n_workers=n_workers,
+        nrhs=1 if y.ndim == 1 else y.shape[1],
+    )
+
+    lock = threading.Lock()
+    cond = threading.Condition(lock)
+    core = tsolve_core(tdag, f.nb, recorder=recorder)
+    errors: list[BaseException] = []
+    seg_locks = _make_segment_locks(2 * f.nb)
+
+    def worker(wid: int) -> None:
+        executed = 0
+        try:
+            while True:
+                with cond:
+                    tid = core.pop()
+                    while tid is None and not core.done() and not errors:
+                        cond.wait()
+                        tid = core.pop()
+                    if errors or tid is None:
+                        return
+                try:
+                    if checker is not None:
+                        checker.on_pop(tid, wid)
+                    slots = tsolve_write_slots(tdag, tid, f.nb)
+                    t0 = time.perf_counter() if recorder else 0.0
+                    for s in slots:
+                        seg_locks[s].acquire()
+                    if checker is not None:
+                        for s in slots:
+                            checker.begin_write(s, tid, wid)
+                    try:
+                        execute_tsolve_task(f, tdag, tid, y, x, plans)
+                    finally:
+                        if checker is not None:
+                            for s in slots:
+                                checker.end_write(s, tid, wid)
+                        for s in reversed(slots):
+                            seg_locks[s].release()
+                    if recorder:
+                        recorder.task(
+                            wid, tsolve_task_label(tdag, tid),
+                            _KIND_NAMES[int(tdag.kinds[tid])],
+                            t0, time.perf_counter(), tid,
+                        )
+                    executed += 1
+                    if checker is not None:
+                        checker.on_complete(tid, wid)
+                    with cond:
+                        newly_ready = core.complete(tid)
+                        if core.done():
+                            cond.notify_all()
+                        elif newly_ready:
+                            cond.notify(newly_ready)
+                except BaseException as exc:  # propagate to the caller
+                    with cond:
+                        errors.append(exc)
+                        cond.notify_all()
+                    return
+        finally:
+            with cond:
+                stats.tasks_executed += executed
+
+    threads = [
+        threading.Thread(target=worker, args=(wid,), daemon=True)
+        for wid in range(n_workers)
+    ]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    if errors:
+        raise errors[0]
+    if checker is not None:
+        checker.final_check(core)
+    stats.max_ready_depth = core.max_ready_depth
+    if stats.tasks_executed != len(tdag):
+        raise RuntimeError(
+            f"threaded tsolve deadlock: executed {stats.tasks_executed} "
+            f"of {len(tdag)} tasks"
+        )
+    stats.seconds = time.perf_counter() - t_start
+    return x, stats

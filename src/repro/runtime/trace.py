@@ -8,7 +8,10 @@ process/worker/rank, one complete event per task, message arrows as flow
 events (``ph: "s"`` at the sender, ``ph: "f"`` at the receiver), and
 ready-queue depth as counter tracks.  Lets the simulated 128-process
 schedules and the actually-executed runs be inspected with the same
-tooling used for real profiler captures.
+tooling used for real profiler captures.  Triangular-solve engines feed
+the same recorder: with ``SolverOptions(trace_events=True)`` each solve
+appends its DIAG_F/UPD_F/DIAG_B/UPD_B task lanes (and, distributed, its
+segment send/recv flows) after the factorisation's.
 """
 
 from __future__ import annotations

@@ -20,6 +20,12 @@ worker function) and hands each worker an :class:`Endpoint` with
 ``send``/``recv``/``post_result``.  Adding an engine substrate (e.g. a
 socket or MPI transport) means implementing these two classes — the
 protocol itself is untouched.
+
+Both distributed consumers ride the same transports: the numeric phase
+(:func:`~repro.runtime.distributed.factorize_distributed`, factor-block
+payloads) and the triangular solves
+(:func:`~repro.runtime.distributed.tsolve_distributed`, RHS-segment
+payloads).
 """
 
 from __future__ import annotations

@@ -9,3 +9,9 @@ def hand_rolled_completion(core, tid):
         if core.counters[s] == 0:
             heapq.heappush(core.ready, core.entries[s])  # raw heap push
     core.remaining -= 1                          # raw progress store
+
+
+def hand_rolled_tsolve_absorb(core, msg, y, seg):
+    src_tid, _tgt, arr = msg
+    y[seg] = arr
+    core.counters[core.successors[src_tid]] -= 1  # raw vectorised decrement

@@ -6,3 +6,9 @@ def protocol_completion(core, tid):
     depth = len(core.ready)            # reads are fine
     counters = list(core.counters)     # so are copies
     return newly_ready, depth, counters
+
+
+def protocol_tsolve_absorb(core, msg, y, seg):
+    src_tid, _tgt, arr = msg
+    y[seg] = arr                       # RHS segments are not protocol state
+    return core.complete(src_tid)      # remote completion, sanctioned path

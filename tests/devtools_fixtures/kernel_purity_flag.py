@@ -12,3 +12,14 @@ def ssssm_bad(c, a, b, ws):
     a_data[0] = time.time()       # mutates the read-only operand `a`
     b.data.fill(np.random.rand())  # mutates `b` and is nondeterministic
     return c
+
+
+def updf_bad(tgt, blk, src, plan=None):
+    src[0] = 0.0                  # solve update mutates its source segment
+    blk.data[:] = 1.0             # and the factor block it should only read
+    return tgt
+
+
+def diagb_bad(diag, x):
+    diag.data[0] = 1.0            # diag solve mutates the factor block
+    return x

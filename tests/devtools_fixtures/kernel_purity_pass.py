@@ -11,3 +11,13 @@ def ssssm_good(c, a, b, ws):
     buf.fill(0.0)                 # the workspace is writable
     np.subtract.at(c_data, np.arange(1), a.data[:1] * b.data[:1])
     return c
+
+
+def updf_good(tgt, blk, src, plan=None):
+    tgt[blk.indices] = tgt[blk.indices] - blk.data * src[:1]  # writes target only
+    return tgt
+
+
+def diagb_good(diag, x):
+    x[0] = x[0] / diag.data[-1]   # the RHS segment is the designated output
+    return x

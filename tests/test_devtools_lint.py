@@ -76,6 +76,52 @@ def test_rule_finding_details():
     assert len(flagged_lines) == 2  # the call and the mutation
 
 
+def test_kernel_purity_flags_tsolve_roles():
+    """The phase-5 segment-kernel roles are covered: an update mutating
+    its source segment or factor block, and a diag solve mutating the
+    factor block, are all named with the right designated output."""
+    findings = _run_rule("kernel-purity", FIXTURES / "kernel_purity_flag.py")
+    messages = "\n".join(f.message for f in findings)
+    assert "updf_bad() mutates read-only operand 'src'" in messages
+    assert "updf_bad() mutates read-only operand 'blk'" in messages
+    assert "diagb_bad() mutates read-only operand 'diag'" in messages
+    assert "designated output is 'x'" in messages
+
+
+def test_kernel_purity_scopes_cover_tsolve_kernels():
+    """The rule's path filter includes the phase-5 kernel module (and the
+    module itself lints clean)."""
+    rule = all_rules()["kernel-purity"]
+    path = SRC / "repro" / "kernels" / "tsolve_kernels.py"
+    assert rule.applies_to(str(path))
+    assert lint_file(path, rules=[rule]) == []
+
+
+def test_counter_protocol_flags_tsolve_absorb():
+    findings = _run_rule(
+        "counter-protocol", FIXTURES / "counter_protocol_flag.py"
+    )
+    assert any(
+        f.message.startswith("raw store to scheduler .counters")
+        and f.line > 10  # the tsolve-flavoured fixture, not the first one
+        for f in findings
+    )
+
+
+def test_counter_protocol_clean_on_tsolve_engines():
+    """The real solve-engine modules obey the protocol rule."""
+    rule = all_rules()["counter-protocol"]
+    for rel in (
+        ("core", "tsolve.py"),
+        ("runtime", "threaded.py"),
+        ("runtime", "distributed.py"),
+        ("runtime", "engines.py"),
+    ):
+        path = SRC.joinpath("repro", *rel)
+        assert rule.applies_to(str(path))
+        assert lint_file(path, rules=[rule]) == [], rel
+
+
 # ----------------------------------------------------------------------
 # suppression
 # ----------------------------------------------------------------------
