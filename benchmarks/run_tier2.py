@@ -154,12 +154,46 @@ def bench_tsolve() -> dict:
     }
 
 
+def bench_arena() -> dict:
+    """Arena vs per-block factor storage (Section 4.2 preallocation):
+    partition cost, steady-state refactorize latency (in-place slab
+    refill vs per-block re-partition), and the pickled handle size."""
+    import pickle
+
+    from repro import PanguLU, SolverOptions
+    from repro.core import block_partition, memory_report
+
+    n = max(120, int(600 * SCALE))
+    a = random_sparse(n, 0.02, seed=13)
+    a2 = a.copy()
+    a2.data = a.data * 1.1
+    out: dict = {"n": n}
+    for label, use_arena in (("per_block", False), ("arena", True)):
+        fact = PanguLU(a, SolverOptions(use_arena=use_arena)).factorize()
+        rep = memory_report(fact.blocks)
+        fact.refactorize(a2)  # warm the plan cache before timing
+        out[label] = {
+            "factor_bytes": rep.total_bytes,
+            "layer1_overhead": rep.layer1_overhead,
+            "refactorize_ms": _best_ms(lambda: fact.refactorize(a2)),
+            "pickle_bytes": len(pickle.dumps(fact)),
+        }
+        bs = fact.blocks.bs
+    f = symbolic_symmetric(a).filled
+    out["partition_ms"] = {
+        "per_block": _best_ms(lambda: block_partition(f, bs)),
+        "arena": _best_ms(lambda: block_partition(f, bs, arena=True)),
+    }
+    return out
+
+
 def main() -> None:
     results = {
         regime: bench_regime(regime, density)
         for regime, density in DENSITY_REGIMES.items()
     }
     tsolve = bench_tsolve()
+    arena = bench_arena()
     doc = {
         "schema": "repro-bench-kernels/1",
         "units": "milliseconds (best of %d)" % REPEATS,
@@ -168,6 +202,7 @@ def main() -> None:
         "numpy": np.__version__,
         "regimes": results,
         "tsolve": tsolve,
+        "arena": arena,
     }
     out_path = REPO_ROOT / "BENCH_kernels.json"
     out_path.write_text(json.dumps(doc, indent=2) + "\n")
@@ -188,6 +223,14 @@ def main() -> None:
     print(f"\nTSOLVE (ms, n={tsolve['n']}, {tsolve['tasks']} tasks):")
     for key in t_keys:
         print(f"  {key:<{t_width}}  {tsolve[key]:8.3f}")
+    print(f"\nARENA vs per-block (n={arena['n']}):")
+    for label in ("per_block", "arena"):
+        row = arena[label]
+        print(f"  {label:<9}  refactorize {row['refactorize_ms']:8.3f} ms  "
+              f"factor {row['factor_bytes'] / 1024:8.1f} KiB  "
+              f"pickle {row['pickle_bytes'] / 1024:8.1f} KiB")
+    print(f"  partition   per_block {arena['partition_ms']['per_block']:.3f} ms"
+          f" / arena {arena['partition_ms']['arena']:.3f} ms")
     print(f"\nwrote {out_path}")
 
 

@@ -2,7 +2,7 @@
 load balancing, the task DAG, the numeric driver, block triangular solves
 and the five-phase solver facade."""
 
-from .blocking import BlockMatrix, block_partition, choose_block_size
+from .blocking import BlockMatrix, FactorArena, block_partition, choose_block_size
 from .dag import Task, TaskDAG, TaskType, build_dag, sync_free_array
 from .mapping import ProcessGrid, assign_tasks, balance_loads, load_imbalance
 from .numeric import (
@@ -30,6 +30,7 @@ from .tsolve_dag import TSolveDAG, TSolveTaskType, build_tsolve_dag
 
 __all__ = [
     "BlockMatrix",
+    "FactorArena",
     "block_partition",
     "choose_block_size",
     "Task",

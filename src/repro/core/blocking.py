@@ -9,17 +9,32 @@ CSC pattern *inside* each block.  Empty blocks are not stored.
 Because every block keeps its exact sparse pattern (no supernode padding),
 the numeric kernels never compute with structural zeros — the central
 storage claim of the paper (Fig. 1e vs 1d).
+
+Two physical layouts back the same logical structure:
+
+* **per-block** (legacy): every payload owns its three arrays —
+  independently allocated, independently pickled, re-allocated on every
+  refactorisation;
+* **arena** (:class:`FactorArena`, the paper's Section 4.2
+  "preallocates all block storage during preprocessing"): one contiguous
+  ``indptr`` / ``indices`` / ``data`` slab for the whole factor, sized
+  once from the symbolic fill, with every block a zero-copy
+  :meth:`~repro.sparse.csc.CSCMatrix.from_views` slice addressed through
+  a slot→offset table.  Kernels write through the views straight into
+  the slab, so a refactorisation is a single in-place overwrite of the
+  value slab and serialisation ships three buffers instead of thousands.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..sparse.csc import CSCMatrix
 
-__all__ = ["BlockMatrix", "choose_block_size", "block_partition"]
+__all__ = ["BlockMatrix", "FactorArena", "choose_block_size", "block_partition"]
 
 
 def choose_block_size(
@@ -50,6 +65,68 @@ def choose_block_size(
 
 
 @dataclass
+class FactorArena:
+    """Preallocated contiguous factor storage (paper Section 4.2).
+
+    The two-layer structure's promise — "preallocates all block storage
+    during preprocessing" with only a handful of auxiliary arrays — made
+    literal: three slabs hold every block's CSC arrays back to back in
+    storage-slot (layer-1) order, and two offset tables address them.
+
+    Attributes
+    ----------
+    indptr:
+        Concatenated per-block column-pointer arrays (each block-local,
+        starting at 0); block ``slot`` owns
+        ``indptr[ptr_off[slot]:ptr_off[slot+1]]``.
+    indices, data:
+        Concatenated per-block row indices / values; block ``slot`` owns
+        ``indices[val_off[slot]:val_off[slot+1]]`` and the matching
+        ``data`` slice.
+    ptr_off, val_off:
+        Slot→offset tables (length ``num_blocks + 1``) — together with
+        the layer-1 ``blk_colptr``/``blk_rowidx`` these are the paper's
+        auxiliary access arrays.
+    gather:
+        Position in the parent filled matrix's ``data`` array of every
+        slab entry (``data[i] == filled.data[gather[i]]``).  This is what
+        makes :meth:`refill` — and therefore refactorisation — a single
+        in-place overwrite of the value slab with zero new block
+        allocations.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    ptr_off: np.ndarray
+    val_off: np.ndarray
+    gather: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        """Total slab + offset-table bytes (``gather`` included)."""
+        return (
+            self.indptr.nbytes + self.indices.nbytes + self.data.nbytes
+            + self.ptr_off.nbytes + self.val_off.nbytes + self.gather.nbytes
+        )
+
+    def slot_view(self, slot: int, shape: tuple[int, int]) -> CSCMatrix:
+        """Zero-copy :class:`CSCMatrix` over storage slot ``slot``."""
+        p0, p1 = int(self.ptr_off[slot]), int(self.ptr_off[slot + 1])
+        v0, v1 = int(self.val_off[slot]), int(self.val_off[slot + 1])
+        return CSCMatrix.from_views(
+            shape, self.indptr[p0:p1], self.indices[v0:v1], self.data[v0:v1]
+        )
+
+    def refill(self, filled_data: np.ndarray) -> None:
+        """Overwrite the value slab in place from a filled-pattern data
+        array (same symbolic pattern, new numeric values).  No block
+        array is allocated or rebound — every view stays valid, so the
+        plan cache and the solve DAGs survive untouched."""
+        np.take(filled_data, self.gather, out=self.data)
+
+
+@dataclass
 class BlockMatrix:
     """Two-layer block-sparse matrix.
 
@@ -77,6 +154,13 @@ class BlockMatrix:
         :func:`repro.core.numeric.resolve_plan_cache`).  Attached here —
         not to the options — because plans are keyed by storage slots,
         which only identify patterns within one block structure.
+    arena:
+        The :class:`FactorArena` backing ``blk_values`` when the
+        structure was built with ``block_partition(..., arena=True)``;
+        ``None`` for the legacy per-block layout.  With an arena, every
+        payload is a zero-copy view into the slabs, serialisation ships
+        the slabs instead of per-block arrays, and
+        :meth:`FactorArena.refill` re-injects values without allocating.
     """
 
     n: int
@@ -88,12 +172,59 @@ class BlockMatrix:
     col_support: list[np.ndarray] = field(default_factory=list)
     row_support: list[np.ndarray] = field(default_factory=list)
     plan_cache: object | None = field(default=None, repr=False)
+    arena: FactorArena | None = field(default=None, repr=False)
     _index: dict | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     def block_order(self, b: int) -> int:
         """Row/column count of block index ``b`` (the last may be short)."""
         return min(self.bs, self.n - b * self.bs)
+
+    # ------------------------------------------------------------------
+    # arena views & serialisation
+    # ------------------------------------------------------------------
+    def _attach_arena_views(self) -> None:
+        """(Re)create ``blk_values`` as zero-copy views into the arena
+        slabs (and the per-block support masks from those views)."""
+        arena = self.arena
+        assert arena is not None
+        values: list[CSCMatrix] = []
+        for bj in range(self.nb):
+            for slot in range(int(self.blk_colptr[bj]), int(self.blk_colptr[bj + 1])):
+                bi = int(self.blk_rowidx[slot])
+                values.append(
+                    arena.slot_view(
+                        slot, (self.block_order(bi), self.block_order(bj))
+                    )
+                )
+        self.blk_values = values
+        self.col_support, self.row_support = _supports(values)
+
+    def __getstate__(self) -> dict:
+        """Serialise without the unpicklable/rebuildable parts.
+
+        The plan cache (holds a lock, rebuilt lazily) and the slot index
+        are always dropped.  With an arena, the per-block views and
+        support masks are dropped too — the three slabs are the single
+        source of truth, so pickling ships three contiguous buffers
+        instead of thousands of small per-block arrays.
+        """
+        state = {
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+        }
+        state["plan_cache"] = None
+        state["_index"] = None
+        if self.arena is not None:
+            state["blk_values"] = None
+            state["col_support"] = None
+            state["row_support"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        if self.arena is not None and self.blk_values is None:
+            self._attach_arena_views()
 
     @property
     def num_blocks(self) -> int:
@@ -170,12 +301,29 @@ class BlockMatrix:
         }
 
 
-def block_partition(filled: CSCMatrix, bs: int) -> BlockMatrix:
+def _supports(blocks: list[CSCMatrix]) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Per-block column/row structural-support masks."""
+    col_support = []
+    row_support = []
+    for blk in blocks:
+        col_support.append(np.diff(blk.indptr) > 0)
+        rs = np.zeros(blk.nrows, dtype=bool)
+        rs[blk.indices] = True
+        row_support.append(rs)
+    return col_support, row_support
+
+
+def block_partition(filled: CSCMatrix, bs: int, *, arena: bool = False) -> BlockMatrix:
     """Split a filled matrix into the two-layer block structure.
 
     Every stored entry of ``filled`` lands in exactly one block; blocks
     keep local CSC patterns with sorted-unique columns (inherited from the
     parent).  O(nnz + nb²) time.
+
+    With ``arena=True`` the payloads are laid out in one preallocated
+    :class:`FactorArena` — three contiguous slabs in storage-slot order —
+    and every block is a zero-copy view into them (bit-identical contents
+    to the per-block layout; only the physical backing differs).
     """
     n = filled.ncols
     if filled.nrows != n:
@@ -184,8 +332,10 @@ def block_partition(filled: CSCMatrix, bs: int) -> BlockMatrix:
         raise ValueError("block size must be positive")
     nb = -(-n // bs)
 
-    # per (bi, bj): lists of (local col, local rows, vals) gathered per column
-    col_chunks: dict[tuple[int, int], list[tuple[int, np.ndarray, np.ndarray]]] = {}
+    # per (bi, bj): lists of (local col, local rows, vals, global start)
+    # gathered per column; each chunk is one contiguous run of the parent
+    # data array beginning at that global start
+    col_chunks: dict[tuple[int, int], list] = {}
     data = filled.data
     boundaries = np.arange(1, nb + 1) * bs
     for j in range(n):
@@ -202,54 +352,77 @@ def block_partition(filled: CSCMatrix, bs: int) -> BlockMatrix:
             end = int(cut[bi])
             if end > start:
                 col_chunks.setdefault((bi, bj), []).append(
-                    (lc, rows[start:end] - bi * bs, vals[start:end])
+                    (lc, rows[start:end] - bi * bs, vals[start:end],
+                     sl.start + start)
                 )
             start = end
 
-    # assemble each block as CSC
-    blocks_per_col: list[list[tuple[int, CSCMatrix]]] = [[] for _ in range(nb)]
+    # assemble each block's local CSC arrays (plus, for the arena, the
+    # parent-data position of every entry)
+    blocks_per_col: list[list[tuple]] = [[] for _ in range(nb)]
     for (bi, bj), chunks in col_chunks.items():
         bo_r = min(bs, n - bi * bs)
         bo_c = min(bs, n - bj * bs)
         indptr = np.zeros(bo_c + 1, dtype=np.int64)
-        for lc, r, _ in chunks:
+        for lc, r, _, _ in chunks:
             indptr[lc + 1] = r.size
         np.cumsum(indptr, out=indptr)
         nnz = int(indptr[-1])
         indices = np.empty(nnz, dtype=np.int64)
         vals_arr = np.empty(nnz, dtype=np.float64)
-        for lc, r, v in chunks:
+        pos_arr = np.empty(nnz, dtype=np.int64) if arena else None
+        for lc, r, v, gstart in chunks:
             dst = slice(int(indptr[lc]), int(indptr[lc + 1]))
             indices[dst] = r
             vals_arr[dst] = v
-        blk = CSCMatrix((bo_r, bo_c), indptr, indices, vals_arr, check=False)
-        blocks_per_col[bj].append((bi, blk))
+            if pos_arr is not None:
+                pos_arr[dst] = np.arange(gstart, gstart + r.size, dtype=np.int64)
+        blocks_per_col[bj].append((bi, (bo_r, bo_c), indptr, indices, vals_arr, pos_arr))
 
+    # layer-1 CSC over blocks, payloads in storage-slot order
     blk_colptr = np.zeros(nb + 1, dtype=np.int64)
     blk_rowidx_parts: list[int] = []
-    blk_values: list[CSCMatrix] = []
+    payloads: list[tuple] = []
     for bj in range(nb):
         entries = sorted(blocks_per_col[bj], key=lambda t: t[0])
         blk_colptr[bj + 1] = blk_colptr[bj] + len(entries)
-        for bi, blk in entries:
+        for bi, shape, indptr, indices, vals_arr, pos_arr in entries:
             blk_rowidx_parts.append(bi)
-            blk_values.append(blk)
+            payloads.append((shape, indptr, indices, vals_arr, pos_arr))
 
-    col_support = []
-    row_support = []
-    for blk in blk_values:
-        col_support.append(np.diff(blk.indptr) > 0)
-        rs = np.zeros(blk.nrows, dtype=bool)
-        rs[blk.indices] = True
-        row_support.append(rs)
-
-    return BlockMatrix(
+    out = BlockMatrix(
         n=n,
         bs=bs,
         nb=nb,
         blk_colptr=blk_colptr,
         blk_rowidx=np.asarray(blk_rowidx_parts, dtype=np.int64),
-        blk_values=blk_values,
-        col_support=col_support,
-        row_support=row_support,
+        blk_values=[],
     )
+    if not arena:
+        out.blk_values = [
+            CSCMatrix(shape, indptr, indices, vals_arr, check=False)
+            for shape, indptr, indices, vals_arr, _ in payloads
+        ]
+        out.col_support, out.row_support = _supports(out.blk_values)
+        return out
+
+    # arena layout: concatenate the per-block arrays into the three slabs
+    # and the slot→offset tables, then re-expose the blocks as views
+    num_blocks = len(payloads)
+    ptr_off = np.zeros(num_blocks + 1, dtype=np.int64)
+    val_off = np.zeros(num_blocks + 1, dtype=np.int64)
+    for slot, (_, indptr, indices, _, _) in enumerate(payloads):
+        ptr_off[slot + 1] = ptr_off[slot] + indptr.size
+        val_off[slot + 1] = val_off[slot] + indices.size
+    empty_i = np.zeros(0, dtype=np.int64)
+    empty_v = np.zeros(0, dtype=np.float64)
+    out.arena = FactorArena(
+        indptr=np.concatenate([p[1] for p in payloads]) if payloads else empty_i,
+        indices=np.concatenate([p[2] for p in payloads]) if payloads else empty_i,
+        data=np.concatenate([p[3] for p in payloads]) if payloads else empty_v,
+        ptr_off=ptr_off,
+        val_off=val_off,
+        gather=np.concatenate([p[4] for p in payloads]) if payloads else empty_i,
+    )
+    out._attach_arena_views()
+    return out

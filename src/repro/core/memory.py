@@ -8,6 +8,15 @@ minimise consumption.  This module makes those claims checkable: exact
 byte counts for the blocked factors, the layer-1 overhead, the equivalent
 supernodal (padded dense-panel) storage, and the per-process footprint
 under a mapping.
+
+Every count is derived from the **actual dtypes of the stored arrays**
+(``arr.nbytes`` / ``dtype.itemsize``), so the report stays truthful if
+the index or value width ever changes — there are no hardcoded "8 bytes
+per entry" constants.  For an arena-backed structure
+(:class:`~repro.core.blocking.FactorArena`) the slot→offset tables are
+counted as layer-1 overhead (they are the paper's block-payload pointer
+array made literal) and the refactorisation gather map is reported
+separately.
 """
 
 from __future__ import annotations
@@ -21,8 +30,9 @@ from .mapping import ProcessGrid
 
 __all__ = ["MemoryReport", "memory_report", "per_process_bytes"]
 
-_IDX = 8   # bytes per stored index (int64 in this implementation)
-_VAL = 8   # bytes per stored value (float64)
+#: pointer width charged per stored block for the legacy layout's
+#: payload-pointer array (one PyObject*/array pointer per block)
+_PTR = np.dtype(np.int64).itemsize
 
 
 @dataclass(frozen=True)
@@ -32,12 +42,15 @@ class MemoryReport:
     Attributes
     ----------
     values_bytes:
-        Numeric payload of all blocks.
+        Numeric payload of all blocks (exact ``data`` dtype).
     layer2_index_bytes:
-        Within-block CSC overhead (indices + column pointers).
+        Within-block CSC overhead (indices + column pointers) at the
+        arrays' actual dtypes.
     layer1_index_bytes:
-        Block-level CSC overhead — the paper's three auxiliary arrays
-        (``blk_ColumnPointer``, ``blk_RowIndex``, ``blk_Value`` pointers).
+        Block-level CSC overhead — the paper's auxiliary arrays
+        (``blk_ColumnPointer``, ``blk_RowIndex`` and the block-payload
+        pointers; for an arena these pointers are the ``ptr_off`` /
+        ``val_off`` slot→offset tables).
     dense_equivalent_bytes:
         Storing every *stored* block as a dense panel (what a padded
         supernodal layout pays for the same coverage).
@@ -45,6 +58,10 @@ class MemoryReport:
         Index arrays of the cached fixed-pattern execution plans
         (:mod:`repro.kernels.plans`), when the structure carries a plan
         cache — the price of precomputed scatter addressing.
+    arena_refill_bytes:
+        The arena's ``gather`` map (filled-matrix position of every slab
+        entry) — the price of in-place value re-injection on
+        refactorisation.  0 for the per-block layout.
     """
 
     values_bytes: int
@@ -52,15 +69,17 @@ class MemoryReport:
     layer1_index_bytes: int
     dense_equivalent_bytes: int
     plan_bytes: int = 0
+    arena_refill_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:
-        """Full two-layer footprint, plans included."""
+        """Full two-layer footprint, plans and refill map included."""
         return (
             self.values_bytes
             + self.layer2_index_bytes
             + self.layer1_index_bytes
             + self.plan_bytes
+            + self.arena_refill_bytes
         )
 
     @property
@@ -81,15 +100,25 @@ class MemoryReport:
 
 def memory_report(f: BlockMatrix) -> MemoryReport:
     """Account the storage of a blocked matrix exactly (including any
-    execution plans cached on the structure)."""
+    execution plans cached on the structure), with every byte count
+    derived from the actual array dtypes."""
     values = 0
     layer2 = 0
     dense_eq = 0
     for blk in f.blk_values:
-        values += blk.nnz * _VAL
-        layer2 += blk.nnz * _IDX + (blk.ncols + 1) * _IDX
-        dense_eq += blk.nrows * blk.ncols * _VAL
-    layer1 = (f.nb + 1) * _IDX + f.num_blocks * (_IDX + _IDX)  # colptr + rowidx + payload ptr
+        val_itemsize = blk.value_nbytes // blk.nnz if blk.nnz else _PTR
+        values += blk.value_nbytes
+        layer2 += blk.index_nbytes
+        dense_eq += blk.nrows * blk.ncols * val_itemsize
+    layer1 = f.blk_colptr.nbytes + f.blk_rowidx.nbytes
+    refill = 0
+    if f.arena is not None:
+        # the slot→offset tables are the block-payload pointer array of
+        # the paper's layer 1; the gather map buys in-place refactorize
+        layer1 += f.arena.ptr_off.nbytes + f.arena.val_off.nbytes
+        refill = f.arena.gather.nbytes
+    else:
+        layer1 += f.num_blocks * _PTR  # one payload pointer per block
     plans = f.plan_cache
     return MemoryReport(
         values_bytes=int(values),
@@ -97,6 +126,7 @@ def memory_report(f: BlockMatrix) -> MemoryReport:
         layer1_index_bytes=int(layer1),
         dense_equivalent_bytes=int(dense_eq),
         plan_bytes=int(plans.nbytes) if plans is not None else 0,
+        arena_refill_bytes=int(refill),
     )
 
 
@@ -105,12 +135,13 @@ def per_process_bytes(f: BlockMatrix, grid: ProcessGrid) -> np.ndarray:
     mapping — the quantity that must fit in one device's memory.
 
     Ownership is the storage layout (pure block-cyclic); the load
-    balancer migrates *tasks*, never block storage.
+    balancer migrates *tasks*, never block storage.  Counts are exact
+    (``nbytes`` of the per-block arrays at their real dtypes).
     """
     out = np.zeros(grid.nprocs, dtype=np.int64)
     for bj in range(f.nb):
         rows, blocks = f.blocks_in_column(bj)
         for bi, blk in zip(rows, blocks):
             owner = grid.owner(int(bi), bj)
-            out[owner] += blk.nnz * (_VAL + _IDX) + (blk.ncols + 1) * _IDX
+            out[owner] += blk.value_nbytes + blk.index_nbytes
     return out

@@ -31,9 +31,11 @@ from ..kernels.plans import (
     build_getrf_plan,
     build_ssssm_plan,
     build_tstrf_plan,
+    rebase_ssssm_plan,
     run_gessm_plan,
     run_getrf_plan,
     run_ssssm_plan,
+    run_ssssm_plan_arena,
     run_tstrf_plan,
 )
 from ..kernels.registry import KernelType, get_kernel, plan_capable
@@ -171,6 +173,12 @@ def _try_planned(
     unplanned kernel.  Plans are keyed by the storage slots of the
     participating blocks: patterns are immutable post-symbolic, so a slot
     identifies a pattern for the life of the structure.
+
+    On an arena-backed structure the SSSSM scatter maps are rebased to
+    **slab-global** offsets and executed directly on the shared value
+    slab (same indexing order — bit-identical); distributed workers
+    operate on a :class:`~repro.runtime.distributed._LocalView` without
+    an arena and keep the block-local form.
     """
     target = f.block(task.bi, task.bj)
     if ktype is KernelType.GETRF:
@@ -193,14 +201,28 @@ def _try_planned(
         return 0
     a_blk = f.block(task.bi, task.k)
     b_blk = f.block(task.k, task.bj)
-    key = (
-        "ssssm",
-        f.block_slot(task.bi, task.k),
-        f.block_slot(task.k, task.bj),
-        f.block_slot(task.bi, task.bj),
-    )
+    sa = f.block_slot(task.bi, task.k)
+    sb = f.block_slot(task.k, task.bj)
+    sc = f.block_slot(task.bi, task.bj)
+    arena = getattr(f, "arena", None)
+    if arena is not None:
+        plan = plans.get(
+            ("ssssm@arena", sa, sb, sc),
+            lambda: rebase_ssssm_plan(
+                build_ssssm_plan(
+                    target, a_blk, b_blk, entry_limit=plans.ssssm_entry_limit
+                ),
+                int(arena.val_off[sa]),
+                int(arena.val_off[sb]),
+                int(arena.val_off[sc]),
+            ),
+        )
+        if plan is None:
+            return None
+        run_ssssm_plan_arena(plan, arena.data)
+        return 0
     plan = plans.get(
-        key,
+        ("ssssm", sa, sb, sc),
         lambda: build_ssssm_plan(
             target, a_blk, b_blk, entry_limit=plans.ssssm_entry_limit
         ),

@@ -10,6 +10,7 @@ from . import (  # noqa: F401  (imported for their registration side effect)
     counter_protocol,
     kernel_purity,
     lock_discipline,
+    no_block_rebind,
     picklable_messages,
     send_then_mutate,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "counter_protocol",
     "kernel_purity",
     "lock_discipline",
+    "no_block_rebind",
     "picklable_messages",
     "send_then_mutate",
 ]

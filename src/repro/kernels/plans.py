@@ -59,6 +59,8 @@ __all__ = [
     "PLANNABLE_VERSIONS",
     "build_ssssm_plan",
     "run_ssssm_plan",
+    "rebase_ssssm_plan",
+    "run_ssssm_plan_arena",
     "build_gessm_plan",
     "run_gessm_plan",
     "build_tstrf_plan",
@@ -70,7 +72,7 @@ __all__ = [
 # registered for the `lock-discipline` lint rule: the plan dict is only
 # written under the cache lock (reads stay lock-free — see PlanCache.get)
 __guarded_by__ = {
-    "self._lock": ("self._plans",),
+    "self._lock": ("self._plans", "self.builds"),
 }
 
 #: Kernel versions whose numeric behaviour a plan reproduces exactly.
@@ -182,6 +184,35 @@ def run_ssssm_plan(plan: SSSSMPlan, c: CSCMatrix, a: CSCMatrix, b: CSCMatrix) ->
     prod = a.data[plan.src_a]
     prod *= b.data[plan.src_b]
     np.subtract.at(c.data, plan.dst, prod)
+
+
+def rebase_ssssm_plan(
+    plan: SSSSMPlan | None, a_off: int, b_off: int, c_off: int
+) -> SSSSMPlan | None:
+    """Translate a block-local scatter map into **arena-global** offsets.
+
+    On the arena layout every block's ``data`` is a view into one shared
+    value slab; adding each block's slab offset to the plan's index arrays
+    yields a plan that addresses the slab directly
+    (:func:`run_ssssm_plan_arena`), skipping the three per-call view
+    lookups.  The indexing order is unchanged, so execution remains
+    bit-identical to the view-based form.  ``None`` (a declined plan)
+    passes through.
+    """
+    if plan is None:
+        return None
+    return SSSSMPlan(
+        src_a=plan.src_a + a_off,
+        src_b=plan.src_b + b_off,
+        dst=plan.dst + c_off,
+    )
+
+
+def run_ssssm_plan_arena(plan: SSSSMPlan, data: np.ndarray) -> None:
+    """Execute an offset-rebased Schur update directly on the value slab."""
+    prod = data[plan.src_a]
+    prod *= data[plan.src_b]
+    np.subtract.at(data, plan.dst, prod)
 
 
 # ----------------------------------------------------------------------
@@ -502,6 +533,9 @@ class PlanCache:
         self._lock = threading.Lock()
         #: per-task cap on SSSSM scatter-map entries (memory valve)
         self.ssssm_entry_limit = ssssm_entry_limit
+        #: number of builder invocations (≥ cache size; lets tests assert
+        #: that refactorize reuses every plan instead of rebuilding)
+        self.builds = 0
 
     def get(self, key, builder):
         """The cached plan for ``key``, building it via ``builder()`` on a
@@ -512,6 +546,7 @@ class PlanCache:
             return plan
         plan = builder()
         with self._lock:
+            self.builds += 1
             return self._plans.setdefault(key, plan)
 
     def __len__(self) -> int:

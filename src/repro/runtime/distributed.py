@@ -18,7 +18,9 @@ runs on ``n_procs`` ranks, each of which
 
 The message substrate is a pluggable :class:`~repro.runtime.transports.
 Transport`: by default one OS process per rank with ``multiprocessing``
-queues (block payloads are the raw ``(indptr, indices, data)`` arrays);
+queues (block payloads are the raw ``(indptr, indices, data)`` arrays —
+on the arena layout these are zero-copy slab slices, and the wire-byte
+accounting is unchanged because a view's ``nbytes`` is the slice's size);
 the in-process :class:`~repro.runtime.transports.LoopbackTransport` runs
 the identical protocol on threads for deterministic testing and fault
 injection.  The master scatters the owned blocks, gathers the factored
@@ -199,12 +201,16 @@ def _worker_main(
 
     def absorb(msg) -> None:
         src_tid, bi, bj, indptr, indices, data = msg
-        blk = CSCMatrix(
+        # wrap the payload arrays directly (zero-copy): over loopback
+        # these are the sender's live block arrays — slab slices on the
+        # arena layout — and sent blocks are final (panel results are
+        # never rewritten), so aliasing them is safe; over
+        # multiprocessing they are fresh arrays off the queue
+        blk = CSCMatrix.from_views(
             (min(bs, n - bi * bs), min(bs, n - bj * bs)),
             indptr,
             indices,
             data,
-            check=False,
         )
         view.add(bi, bj, blk)
         if recorder is not None:

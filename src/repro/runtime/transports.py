@@ -34,6 +34,8 @@ import queue as queue_mod
 import threading
 from dataclasses import dataclass, field
 
+import numpy as np
+
 __all__ = [
     "TransportTimeout",
     "TransportStopped",
@@ -238,6 +240,15 @@ class _LoopbackEndpoint(Endpoint):
         copies = 2 if self.rank in t.faults.duplicate_from else 1
         delay = t.faults.delay_seconds
         if delay > 0.0 and (not t.faults.stagger or self._sends % 2 == 1):
+            # a real link serialises at send time: snapshot array members
+            # so a delayed delivery carries the values being sent, not
+            # whatever a shared (arena-slab-view) buffer holds when the
+            # timer fires
+            if isinstance(payload, tuple):
+                payload = tuple(
+                    np.array(p) if isinstance(p, np.ndarray) else p
+                    for p in payload
+                )
             for _ in range(copies):
                 timer = threading.Timer(
                     delay, t.inboxes[dst].put, args=(payload,)

@@ -146,6 +146,20 @@ class CSCMatrix:
         return self.shape[1]
 
     @property
+    def index_nbytes(self) -> int:
+        """Exact bytes of the structural arrays (``indptr`` + ``indices``)
+        at their actual dtypes — the layer-2 overhead of one block."""
+        return self.indptr.nbytes + self.indices.nbytes
+
+    @property
+    def value_nbytes(self) -> int:
+        """Exact bytes of the value array at its actual dtype, *without*
+        materialising the lazy zero array of a symbolic matrix."""
+        if self._data is not None:
+            return self._data.nbytes
+        return self.nnz * np.dtype(np.float64).itemsize
+
+    @property
     def density(self) -> float:
         """Fraction of stored entries relative to a dense matrix of this shape."""
         cells = self.shape[0] * self.shape[1]
@@ -198,6 +212,42 @@ class CSCMatrix:
         m.sum_duplicates()
         m.sort_indices()
         return cls(m.shape, m.indptr, m.indices, m.data, check=False)
+
+    @classmethod
+    def from_views(
+        cls,
+        shape: tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ) -> "CSCMatrix":
+        """Wrap existing buffers **without copying** (no validation).
+
+        The arena block layout (:mod:`repro.core.blocking`) depends on the
+        returned matrix *aliasing* its inputs: every write through
+        ``block.data[...]`` must land in the backing slab.  The regular
+        constructor normalises via ``ascontiguousarray``, which silently
+        copies on a dtype or layout mismatch and would decouple the block
+        from its slab — so this constructor demands exact dtypes and
+        raises instead of copying.
+        """
+        for arr, want, what in (
+            (indptr, np.int64, "indptr"),
+            (indices, np.int64, "indices"),
+            (data, np.float64, "data"),
+        ):
+            if arr.dtype != want:
+                raise TypeError(
+                    f"from_views requires {what} of dtype {np.dtype(want)}, "
+                    f"got {arr.dtype} (would silently copy)"
+                )
+        m = cls.__new__(cls)
+        m.shape = (int(shape[0]), int(shape[1]))
+        m.indptr = indptr
+        m.indices = indices
+        m._data = data
+        m._cols = None
+        return m
 
     @classmethod
     def eye(cls, n: int) -> "CSCMatrix":

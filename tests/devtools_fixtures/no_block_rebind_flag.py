@@ -1,0 +1,24 @@
+"""Should-flag fixture for the `no-block-rebind` rule."""
+
+import numpy as np
+
+
+def kernel_rebinds_data(blk, update):
+    blk.data = blk.data - update          # rebind: detaches from the slab
+
+
+def kernel_rebinds_via_augassign(blk, scale):
+    blk.data *= scale                     # desugars to a .data rebind
+
+
+def engine_swaps_pattern(blk, indptr, indices):
+    blk.indptr = indptr                   # pattern arrays are views too
+    blk.indices = indices
+
+
+def engine_annotated_rebind(blk):
+    blk.data: np.ndarray = np.zeros(blk.nnz)
+
+
+def tuple_unpack_rebind(blk, other):
+    blk.data, other.data = other.data, blk.data

@@ -1,0 +1,23 @@
+"""Should-pass fixture for the `no-block-rebind` rule."""
+
+import numpy as np
+
+
+def kernel_writes_in_place(blk, plan, prod):
+    blk.data[plan.dst] -= prod            # subscripted store: in place
+    np.subtract.at(blk.data, plan.dst, prod)
+
+
+def patch_back(blk, payload):
+    blk.data[...] = payload               # full overwrite through the view
+
+
+def segment_update(blk, s, e, vals):
+    blk.data[s:e] = vals
+
+
+def reads_are_fine(blk):
+    local = blk.data                      # binding a *local* is not a rebind
+    data = blk.indices.copy()
+    indptr = np.asarray(blk.indptr)
+    return local, data, indptr

@@ -32,6 +32,7 @@ RULE_FIXTURES = {
     "send-then-mutate": "send_then_mutate",
     "no-bare-except-in-runtime": "bare_except",
     "picklable-messages": "picklable_messages",
+    "no-block-rebind": "no_block_rebind",
 }
 
 
@@ -106,6 +107,23 @@ def test_counter_protocol_flags_tsolve_absorb():
         and f.line > 10  # the tsolve-flavoured fixture, not the first one
         for f in findings
     )
+
+
+def test_no_block_rebind_scope():
+    """The rule covers the kernel and engine modules (which lint clean)
+    and excludes the storage types that legitimately bind the arrays."""
+    rule = all_rules()["no-block-rebind"]
+    for rel in (
+        ("kernels", "plans.py"),
+        ("core", "numeric.py"),
+        ("core", "tsolve.py"),
+        ("runtime", "distributed.py"),
+        ("runtime", "threaded.py"),
+    ):
+        path = SRC.joinpath("repro", *rel)
+        assert rule.applies_to(str(path))
+        assert lint_file(path, rules=[rule]) == [], rel
+    assert not rule.applies_to(str(SRC / "repro" / "core" / "blocking.py"))
 
 
 def test_counter_protocol_clean_on_tsolve_engines():

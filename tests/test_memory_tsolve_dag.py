@@ -29,7 +29,11 @@ class TestMemoryReport:
     def test_totals_consistent(self, prepared):
         rep = memory_report(prepared.blocks)
         assert rep.total_bytes == (
-            rep.values_bytes + rep.layer2_index_bytes + rep.layer1_index_bytes
+            rep.values_bytes
+            + rep.layer2_index_bytes
+            + rep.layer1_index_bytes
+            + rep.plan_bytes
+            + rep.arena_refill_bytes
         )
         nnz = sum(b.nnz for b in prepared.blocks.blk_values)
         assert rep.values_bytes == nnz * 8
