@@ -187,6 +187,36 @@ def bench_arena() -> dict:
     return out
 
 
+def bench_precision() -> dict:
+    """Float32 vs float64 factor path: arena value-slab bytes (the
+    storage the mixed-precision build halves), factorise and refined
+    solve latency, and the achieved relative residual — the refined
+    float32 answer must land in the float64 accuracy class."""
+    from repro import PanguLU, SolverOptions
+
+    n = max(120, int(600 * SCALE))
+    a = random_sparse(n, 0.02, seed=17)
+    b = np.linspace(1.0, 2.0, n)
+    out: dict = {"n": n}
+    for label, dtype in (("float64", "float64"), ("float32", "float32")):
+        solver = PanguLU(a, SolverOptions(factor_dtype=dtype))
+        fact = solver.factorize()
+        x = fact.solve(b)
+        out[label] = {
+            "arena_data_bytes": fact.blocks.arena.data.nbytes,
+            "factorize_ms": _best_ms(
+                lambda: PanguLU(
+                    a, SolverOptions(factor_dtype=dtype)
+                ).factorize()
+            ),
+            "solve_ms": _best_ms(lambda: fact.solve(b)),
+            "residual": solver.residual_norm(x, b),
+        }
+    assert out["float32"]["arena_data_bytes"] * 2 == \
+        out["float64"]["arena_data_bytes"]
+    return out
+
+
 def main() -> None:
     results = {
         regime: bench_regime(regime, density)
@@ -194,6 +224,7 @@ def main() -> None:
     }
     tsolve = bench_tsolve()
     arena = bench_arena()
+    precision = bench_precision()
     doc = {
         "schema": "repro-bench-kernels/1",
         "units": "milliseconds (best of %d)" % REPEATS,
@@ -203,6 +234,7 @@ def main() -> None:
         "regimes": results,
         "tsolve": tsolve,
         "arena": arena,
+        "precision": precision,
     }
     out_path = REPO_ROOT / "BENCH_kernels.json"
     out_path.write_text(json.dumps(doc, indent=2) + "\n")
@@ -231,6 +263,13 @@ def main() -> None:
               f"pickle {row['pickle_bytes'] / 1024:8.1f} KiB")
     print(f"  partition   per_block {arena['partition_ms']['per_block']:.3f} ms"
           f" / arena {arena['partition_ms']['arena']:.3f} ms")
+    print(f"\nPRECISION f32 vs f64 (n={precision['n']}):")
+    for label in ("float64", "float32"):
+        row = precision[label]
+        print(f"  {label}  data {row['arena_data_bytes'] / 1024:8.1f} KiB  "
+              f"factorize {row['factorize_ms']:8.3f} ms  "
+              f"solve {row['solve_ms']:8.3f} ms  "
+              f"residual {row['residual']:.2e}")
     print(f"\nwrote {out_path}")
 
 

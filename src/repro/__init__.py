@@ -33,8 +33,14 @@ Quickstart::
     assert solver.residual_norm(x, np.ones(a.nrows)) < 1e-10
 """
 
-from .core.solver import Factorization, PanguLU, SolverOptions
+from .core.solver import Factorization, PanguLU, RefinementStalled, SolverOptions
 
 __version__ = "1.0.0"
 
-__all__ = ["Factorization", "PanguLU", "SolverOptions", "__version__"]
+__all__ = [
+    "Factorization",
+    "PanguLU",
+    "RefinementStalled",
+    "SolverOptions",
+    "__version__",
+]

@@ -45,6 +45,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             n_workers=args.workers,
             nprocs=max(1, args.workers) if args.engine == "distributed" else 1,
             engine=args.engine,
+            factor_dtype=args.dtype,
             trace_events=bool(args.trace),
             validate_concurrency=bool(args.check),
         )
@@ -56,6 +57,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
           f"nnz(L+U) = {solver.symbolic.nnz_lu}, "
           f"blocks = {solver.blocks.nb}×{solver.blocks.nb} of {solver.blocks.bs}")
     print(f"engine = {solver.options.resolved_engine()}, "
+          f"factor dtype = {solver.blocks.dtype}, "
           f"relative residual = {solver.residual_norm(x, b):.3e}")
     fact = solver.factorize()
     if fact.last_tsolve_stats is not None:
@@ -166,6 +168,10 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("solve", help="solve A x = b for a .mtx file or analogue")
     p.add_argument("matrix", help=".mtx path or a paper matrix name")
     p.add_argument("--ordering", default="nd", choices=["nd", "amd", "rcm", "natural"])
+    p.add_argument("--dtype", default="float64", choices=["float64", "float32"],
+                   help="working precision of the factors; float32 halves "
+                        "factor storage and recovers accuracy by iterative "
+                        "refinement in float64")
     p.add_argument("--rhs", default="ones", choices=["ones", "random"])
     p.add_argument("--scale", type=float, default=0.3, help="analogue size knob")
     p.add_argument("--output", help="write the solution vector to this file")

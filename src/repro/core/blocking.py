@@ -118,12 +118,23 @@ class FactorArena:
             shape, self.indptr[p0:p1], self.indices[v0:v1], self.data[v0:v1]
         )
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Value dtype of the ``data`` slab (the factor dtype)."""
+        return self.data.dtype
+
     def refill(self, filled_data: np.ndarray) -> None:
         """Overwrite the value slab in place from a filled-pattern data
         array (same symbolic pattern, new numeric values).  No block
         array is allocated or rebound — every view stays valid, so the
         plan cache and the solve DAGs survive untouched."""
-        np.take(filled_data, self.gather, out=self.data)
+        if filled_data.dtype == self.data.dtype:
+            np.take(filled_data, self.gather, out=self.data)
+        else:
+            # np.take refuses cross-dtype `out`; fall back to a gathering
+            # assignment, which casts (float64 fill → float32 slab) on
+            # the mixed-precision path
+            self.data[...] = filled_data[self.gather]
 
 
 @dataclass
@@ -161,6 +172,10 @@ class BlockMatrix:
         payload is a zero-copy view into the slabs, serialisation ships
         the slabs instead of per-block arrays, and
         :meth:`FactorArena.refill` re-injects values without allocating.
+    dtype:
+        Value dtype of every block payload (``float64`` by default,
+        ``float32`` on the mixed-precision factor path).  Set by
+        :func:`block_partition`.
     """
 
     n: int
@@ -173,6 +188,7 @@ class BlockMatrix:
     row_support: list[np.ndarray] = field(default_factory=list)
     plan_cache: object | None = field(default=None, repr=False)
     arena: FactorArena | None = field(default=None, repr=False)
+    dtype: np.dtype = field(default_factory=lambda: np.dtype(np.float64))
     _index: dict | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
@@ -313,7 +329,13 @@ def _supports(blocks: list[CSCMatrix]) -> tuple[list[np.ndarray], list[np.ndarra
     return col_support, row_support
 
 
-def block_partition(filled: CSCMatrix, bs: int, *, arena: bool = False) -> BlockMatrix:
+def block_partition(
+    filled: CSCMatrix,
+    bs: int,
+    *,
+    arena: bool = False,
+    dtype: np.dtype | type | None = None,
+) -> BlockMatrix:
     """Split a filled matrix into the two-layer block structure.
 
     Every stored entry of ``filled`` lands in exactly one block; blocks
@@ -324,7 +346,13 @@ def block_partition(filled: CSCMatrix, bs: int, *, arena: bool = False) -> Block
     :class:`FactorArena` — three contiguous slabs in storage-slot order —
     and every block is a zero-copy view into them (bit-identical contents
     to the per-block layout; only the physical backing differs).
+
+    ``dtype`` sets the value dtype of the payloads (and the arena's data
+    slab); ``None`` inherits the filled matrix's dtype.  Passing
+    ``float32`` casts the (float64) fill values once, here — the working
+    storage of the mixed-precision factor path.
     """
+    dtype = np.dtype(dtype) if dtype is not None else filled.dtype
     n = filled.ncols
     if filled.nrows != n:
         raise ValueError("block partition requires a square matrix")
@@ -369,7 +397,7 @@ def block_partition(filled: CSCMatrix, bs: int, *, arena: bool = False) -> Block
         np.cumsum(indptr, out=indptr)
         nnz = int(indptr[-1])
         indices = np.empty(nnz, dtype=np.int64)
-        vals_arr = np.empty(nnz, dtype=np.float64)
+        vals_arr = np.empty(nnz, dtype=dtype)
         pos_arr = np.empty(nnz, dtype=np.int64) if arena else None
         for lc, r, v, gstart in chunks:
             dst = slice(int(indptr[lc]), int(indptr[lc + 1]))
@@ -397,6 +425,7 @@ def block_partition(filled: CSCMatrix, bs: int, *, arena: bool = False) -> Block
         blk_colptr=blk_colptr,
         blk_rowidx=np.asarray(blk_rowidx_parts, dtype=np.int64),
         blk_values=[],
+        dtype=dtype,
     )
     if not arena:
         out.blk_values = [
@@ -415,7 +444,7 @@ def block_partition(filled: CSCMatrix, bs: int, *, arena: bool = False) -> Block
         ptr_off[slot + 1] = ptr_off[slot] + indptr.size
         val_off[slot + 1] = val_off[slot] + indices.size
     empty_i = np.zeros(0, dtype=np.int64)
-    empty_v = np.zeros(0, dtype=np.float64)
+    empty_v = np.zeros(0, dtype=dtype)
     out.arena = FactorArena(
         indptr=np.concatenate([p[1] for p in payloads]) if payloads else empty_i,
         indices=np.concatenate([p[2] for p in payloads]) if payloads else empty_i,

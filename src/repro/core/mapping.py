@@ -94,12 +94,12 @@ def balance_loads(
 
     for _ in range(max_rounds):
         changed = False
-        cumulative = np.zeros(nprocs)
+        cumulative = np.zeros(nprocs, dtype=np.float64)
         for k in range(nslices):
             in_slice = np.flatnonzero(slices == k)
             if in_slice.size == 0:
                 continue
-            slice_w = np.zeros(nprocs)
+            slice_w = np.zeros(nprocs, dtype=np.float64)
             np.add.at(slice_w, assignment[in_slice], flops[in_slice])
             # migrate the heaviest movable tasks from the most loaded to
             # the least loaded process while that closes the gap ("tasks
@@ -133,7 +133,7 @@ def balance_loads(
 
 def load_imbalance(dag: TaskDAG, assignment: np.ndarray, nprocs: int) -> float:
     """Imbalance metric ``max(load) / mean(load)`` (1.0 = perfect)."""
-    loads = np.zeros(nprocs)
+    loads = np.zeros(nprocs, dtype=np.float64)
     flops = np.asarray([t.flops for t in dag.tasks], dtype=np.float64)
     np.add.at(loads, assignment, flops)
     mean = loads.mean()

@@ -49,7 +49,99 @@ from .tsolve import (
 )
 from .tsolve_dag import build_tsolve_dag
 
-__all__ = ["SolverOptions", "Factorization", "PanguLU"]
+__all__ = ["SolverOptions", "Factorization", "PanguLU", "RefinementStalled"]
+
+
+class RefinementStalled(ArithmeticError):
+    """Mixed-precision iterative refinement could not reach the requested
+    residual tolerance.
+
+    Raised by :meth:`Factorization.solve` on the ``float32`` factor path
+    when plain refinement stops contracting *and* the GMRES-IR escalation
+    also fails to reach ``SolverOptions.refine_tol`` — typically a sign
+    that the matrix is too ill-conditioned for single-precision factors
+    (``κ(A) · ε₃₂ ≳ 1``).  The message reports the achieved relative
+    residual so callers can decide whether to accept it or refactorise
+    at ``factor_dtype="float64"``.
+
+    Attributes
+    ----------
+    achieved:
+        Best relative residual reached (max over right-hand sides).
+    tol:
+        The tolerance that was requested.
+    iterations:
+        Total refinement + escalation iterations spent.
+    """
+
+    def __init__(self, achieved: float, tol: float, iterations: int) -> None:
+        self.achieved = float(achieved)
+        self.tol = float(tol)
+        self.iterations = int(iterations)
+        super().__init__(
+            f"mixed-precision refinement stalled at relative residual "
+            f"{self.achieved:.3e} (tolerance {self.tol:.3e}, "
+            f"{self.iterations} iterations); the matrix is likely too "
+            f"ill-conditioned for float32 factors — refactorize with "
+            f'factor_dtype="float64" or relax refine_tol'
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.achieved, self.tol, self.iterations))
+
+
+def _fgmres(
+    matvec,
+    precond,
+    r0: np.ndarray,
+    tol_abs: float,
+    maxiter: int,
+    restart: int = 20,
+) -> tuple[np.ndarray, int]:
+    """Solve ``A y = r0`` by restarted FGMRES, right-preconditioned by the
+    (low-precision) factor application ``precond``.
+
+    This is the inner loop of GMRES-IR: the Krylov space is built on the
+    true operator in working precision, so it converges where plain
+    LU-IR with float32 factors stalls (κ(A)·ε₃₂ ≈ 1).  Returns the
+    correction and the number of operator applications spent.
+    """
+    n = r0.size
+    dt = r0.dtype
+    y = np.zeros(n, dtype=dt)
+    r = r0.copy()
+    spent = 0
+    while spent < maxiter:
+        beta = float(np.linalg.norm(r))
+        if beta <= tol_abs or not np.isfinite(beta):
+            break
+        m = min(restart, maxiter - spent)
+        if m < 1:
+            break
+        v = np.zeros((n, m + 1), dtype=dt)
+        z = np.zeros((n, m), dtype=dt)
+        h = np.zeros((m + 1, m), dtype=dt)
+        v[:, 0] = r / beta
+        k_used = 0
+        for k in range(m):
+            z[:, k] = precond(v[:, k])
+            w = np.asarray(matvec(z[:, k]), dtype=dt)
+            spent += 1
+            for i in range(k + 1):
+                h[i, k] = float(v[:, i] @ w)
+                w = w - h[i, k] * v[:, i]
+            h[k + 1, k] = float(np.linalg.norm(w))
+            k_used = k + 1
+            if h[k + 1, k] <= np.finfo(dt).tiny:
+                break
+            v[:, k + 1] = w / h[k + 1, k]
+        e1 = np.zeros(k_used + 1, dtype=dt)
+        e1[0] = beta
+        coef, *_ = np.linalg.lstsq(h[: k_used + 1, :k_used], e1, rcond=None)
+        y = y + z[:, :k_used] @ coef
+        r = r0 - np.asarray(matvec(y), dtype=dt)
+        spent += 1
+    return y, spent
 
 
 def _perm_sign(perm: np.ndarray) -> float:
@@ -130,7 +222,31 @@ class SolverOptions:
         Iterative-refinement sweeps after the triangular solves.  Static
         pivoting (MC64 + GESP pivot replacement) trades factorisation-time
         stability for a possibly larger residual; a few cheap refinement
-        steps recover it — the same recipe SuperLU_DIST applies.
+        steps recover it — the same recipe SuperLU_DIST applies.  Applies
+        to the ``float64`` factor path; the ``float32`` path replaces the
+        fixed sweep count with the adaptive loop below.
+    factor_dtype:
+        Working precision of the numeric factors: ``"float64"`` (default)
+        or ``"float32"``.  Single precision halves the arena ``data``
+        slab, the per-block value arrays and the transport value bytes;
+        accuracy is recovered by iterative refinement in
+        ``refine_target_dtype`` (residuals and corrections accumulate in
+        double precision — the classic mixed-precision LU-IR recipe,
+        mirroring the production solver's paired r32/r64 kernels).
+    refine_target_dtype:
+        Accumulation dtype of the mixed-precision refinement loop
+        (``"float64"`` default).  The triangular solves promote the
+        ``float32`` factors against this dtype's right-hand sides.
+    refine_tol:
+        Relative-residual target ``‖b − A x‖ / ‖b‖`` of the adaptive
+        refinement on the ``float32`` factor path.  Plain refinement
+        iterates until the tolerance is met; if it stalls, a
+        GMRES-IR-style inner loop (FGMRES preconditioned by the low-
+        precision factors) takes over; if that also fails,
+        :class:`RefinementStalled` is raised with the achieved residual.
+    refine_max_iter:
+        Iteration budget of the adaptive refinement loop (plain sweeps
+        plus escalation matvecs).
     validate_concurrency:
         Run the numeric phase and the triangular solves under the
         :mod:`repro.devtools.racecheck` invariant checker: single writer
@@ -151,6 +267,10 @@ class SolverOptions:
     nprocs: int = 1
     load_balance: bool = True
     refine_steps: int = 2
+    factor_dtype: str = "float64"
+    refine_target_dtype: str = "float64"
+    refine_tol: float = 1e-12
+    refine_max_iter: int = 40
     n_workers: int = 1
     engine: str | None = None
     trace_events: bool = False
@@ -161,6 +281,24 @@ class SolverOptions:
         if self.engine is not None:
             return self.engine
         return "threaded" if self.n_workers > 1 else "sequential"
+
+    def resolved_factor_dtype(self) -> np.dtype:
+        """``factor_dtype`` as a validated :class:`numpy.dtype`."""
+        dt = np.dtype(self.factor_dtype)
+        if dt not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(
+                f"factor_dtype must be float32 or float64, got {dt}"
+            )
+        return dt
+
+    def resolved_refine_dtype(self) -> np.dtype:
+        """``refine_target_dtype`` as a validated :class:`numpy.dtype`."""
+        dt = np.dtype(self.refine_target_dtype)
+        if dt not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(
+                f"refine_target_dtype must be float32 or float64, got {dt}"
+            )
+        return dt
 
 
 class Factorization:
@@ -290,6 +428,11 @@ class Factorization:
     # ------------------------------------------------------------------
     # solves
     # ------------------------------------------------------------------
+    @property
+    def factor_dtype(self) -> np.dtype:
+        """Value dtype of the stored factors (``blocks.dtype``)."""
+        return self.blocks.dtype
+
     def _refine(self, x: np.ndarray, b: np.ndarray, apply_fn, matvec):
         """``refine_steps`` rounds of iterative refinement of ``x``
         against ``b``, with ``apply_fn`` the direction-specific factor
@@ -300,6 +443,81 @@ class Factorization:
                 break
             x = x + apply_fn(r)
         return x
+
+    def _refine_adaptive(self, x: np.ndarray, b: np.ndarray, apply_fn, matvec):
+        """Adaptive mixed-precision refinement (the ``float32`` factor
+        path): iterate plain LU-IR in ``refine_target_dtype`` until the
+        relative residual meets ``refine_tol``; when the sweeps stop
+        contracting, escalate to a GMRES-IR inner loop (FGMRES on ``A``
+        preconditioned by the low-precision factor application); raise
+        :class:`RefinementStalled` when neither reaches the tolerance.
+        """
+        opts = self.options
+        tol = float(opts.refine_tol)
+        budget = max(1, int(opts.refine_max_iter))
+        target = opts.resolved_refine_dtype()
+        x = np.asarray(x, dtype=target)
+        b = np.asarray(b, dtype=target)
+        multi = b.ndim == 2
+
+        if multi:
+            bden = np.linalg.norm(b, axis=0)
+            bden = np.where(bden == 0.0, 1.0, bden)
+        else:
+            bden = float(np.linalg.norm(b)) or 1.0
+
+        def rel(r: np.ndarray) -> float:
+            if multi:
+                return float(np.max(np.linalg.norm(r, axis=0) / bden))
+            return float(np.linalg.norm(r)) / bden
+
+        spent = 0
+        r = b - matvec(x)
+        worst = rel(r)
+        prev = np.inf
+        stall = 0
+        while worst > tol and spent < budget and np.all(np.isfinite(r)):
+            # a sweep that fails to halve the residual is "stalled" —
+            # κ(A)·ε₃₂ is biting and more of the same will not converge
+            if worst > 0.5 * prev:
+                stall += 1
+                if stall >= 2:
+                    break
+            else:
+                stall = 0
+            prev = worst
+            x = x + np.asarray(apply_fn(r), dtype=target)
+            spent += 1
+            r = b - matvec(x)
+            worst = rel(r)
+        if worst <= tol:
+            return x
+
+        # GMRES-IR escalation, one correction system per unconverged RHS
+        if multi:
+            mv1 = lambda v: matvec(v[:, None])[:, 0]  # noqa: E731
+            ap1 = lambda v: apply_fn(v[:, None])[:, 0]  # noqa: E731
+            col_rel = np.linalg.norm(r, axis=0) / bden
+            todo = [j for j in range(b.shape[1]) if col_rel[j] > tol]
+        else:
+            mv1, ap1 = matvec, apply_fn
+            todo = [None]
+        esc_budget = max(budget, 20)
+        for j in todo:
+            rj = r[:, j] if multi else r
+            dj = bden[j] if multi else bden
+            y, used = _fgmres(mv1, ap1, np.asarray(rj, dtype=target),
+                              tol * float(dj), esc_budget)
+            spent += used
+            if multi:
+                x[:, j] = x[:, j] + y
+            else:
+                x = x + y
+        r = b - matvec(x)
+        worst = rel(r)
+        if worst <= tol:
+            return x
+        raise RefinementStalled(worst, tol, spent)
 
     def _account(self, t0: float) -> None:
         self.last_solve_seconds = time.perf_counter() - t0
@@ -318,8 +536,12 @@ class Factorization:
                 f"b has shape {b.shape}, expected ({self.n},) or ({self.n}, k)"
             )
         mv = self.a.matmat if b.ndim == 2 else self.a.matvec
-        x = self._refine(self.apply(b, recorder=recorder), b,
-                         lambda r: self.apply(r, recorder=recorder), mv)
+        x0 = self.apply(b, recorder=recorder)
+        apply_fn = lambda r: self.apply(r, recorder=recorder)  # noqa: E731
+        if self.factor_dtype == np.dtype(np.float32):
+            x = self._refine_adaptive(x0, b, apply_fn, mv)
+        else:
+            x = self._refine(x0, b, apply_fn, mv)
         self._account(t0)
         return x
 
@@ -331,8 +553,12 @@ class Factorization:
         b = np.asarray(b, dtype=np.float64)
         if b.shape != (self.n,):
             raise ValueError(f"b has shape {b.shape}, expected ({self.n},)")
-        x = self._refine(self._apply_transposed(b), b,
-                         self._apply_transposed, self._matvec_t)
+        if self.factor_dtype == np.dtype(np.float32):
+            x = self._refine_adaptive(self._apply_transposed(b), b,
+                                      self._apply_transposed, self._matvec_t)
+        else:
+            x = self._refine(self._apply_transposed(b), b,
+                             self._apply_transposed, self._matvec_t)
         self._account(t0)
         return x
 
@@ -383,7 +609,7 @@ class Factorization:
         else:
             bs = self.blocks.bs
             plan_cache = self.blocks.plan_cache
-            self.blocks = block_partition(refreshed, bs)
+            self.blocks = block_partition(refreshed, bs, dtype=self.blocks.dtype)
             # same pattern ⇒ same blocking ⇒ same storage slots: the
             # execution plans and the solve DAGs (which hold block indices,
             # not block references) built for the previous factorisation
@@ -465,8 +691,8 @@ class PanguLU:
             work = a.scale(res.row_scale, res.col_scale).permute(res.row_perm, None)
             mc64_perm = res.row_perm
         else:
-            self.row_scale = np.ones(n)
-            self.col_scale = np.ones(n)
+            self.row_scale = np.ones(n, dtype=np.float64)
+            self.col_scale = np.ones(n, dtype=np.float64)
             work = a.copy()
             mc64_perm = np.arange(n, dtype=np.int64)
 
@@ -518,7 +744,12 @@ class PanguLU:
         t0 = time.perf_counter()
         filled = self.symbolic.filled
         bs = self.options.block_size or choose_block_size(filled.ncols, filled.nnz)
-        self.blocks = block_partition(filled, bs, arena=self.options.use_arena)
+        self.blocks = block_partition(
+            filled,
+            bs,
+            arena=self.options.use_arena,
+            dtype=self.options.resolved_factor_dtype(),
+        )
         self.dag = build_dag(self.blocks)
         self.grid = ProcessGrid.square(self.options.nprocs)
         assignment = assign_tasks(self.dag, self.grid)
@@ -650,7 +881,7 @@ class PanguLU:
         self.factorize()
         n = self.a.ncols
         norm_a = self.a.norm_1()
-        x = np.full(n, 1.0 / n)
+        x = np.full(n, 1.0 / n, dtype=np.float64)
         est = 0.0
         for _ in range(max_iter):
             y = self.solve(x)
@@ -663,7 +894,7 @@ class PanguLU:
                 est = max(est, new_est)
                 break
             est = new_est
-            x = np.zeros(n)
+            x = np.zeros(n, dtype=np.float64)
             x[j] = 1.0
         return norm_a * est
 

@@ -54,46 +54,59 @@ class Workspace:
     arrays.  Grown on demand, never shrunk.
     """
 
-    _dense_a: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
-    _dense_b: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
-    _dense_c: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
-    _vec: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    _dense_a: np.ndarray = field(default_factory=lambda: np.zeros((0, 0), dtype=np.float64))
+    _dense_b: np.ndarray = field(default_factory=lambda: np.zeros((0, 0), dtype=np.float64))
+    _dense_c: np.ndarray = field(default_factory=lambda: np.zeros((0, 0), dtype=np.float64))
+    _vec: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.float64))
 
-    def dense(self, which: str, shape: tuple[int, int]) -> np.ndarray:
+    def dense(
+        self,
+        which: str,
+        shape: tuple[int, int],
+        dtype: np.dtype | type = np.float64,
+    ) -> np.ndarray:
         """Return a zeroed dense scratch array of at least ``shape``.
 
         ``which`` selects one of three independent buffers (``"a"``,
         ``"b"``, ``"c"``) so a kernel can hold three operands at once.
+        ``dtype`` must match the operand blocks' value dtype — computing
+        dense in float64 and gathering back into float32 storage would
+        round differently from the sparse variants of the same kernel and
+        break cross-variant (and planned-vs-unplanned) bit identity.
         """
+        dtype = np.dtype(dtype)
         attr = f"_dense_{which}"
         buf = getattr(self, attr)
-        if buf.shape[0] < shape[0] or buf.shape[1] < shape[1]:
+        if buf.shape[0] < shape[0] or buf.shape[1] < shape[1] or buf.dtype != dtype:
             newshape = (max(buf.shape[0], shape[0]), max(buf.shape[1], shape[1]))
-            buf = np.zeros(newshape)
+            buf = np.zeros(newshape, dtype=dtype)
             setattr(self, attr, buf)
         view = buf[: shape[0], : shape[1]]
         view[...] = 0.0
         return view
 
-    def vector(self, n: int) -> np.ndarray:
-        """Zeroed 1-D scratch of length ``n``."""
-        if self._vec.size < n:
-            self._vec = np.zeros(n)
+    def vector(self, n: int, dtype: np.dtype | type = np.float64) -> np.ndarray:
+        """Zeroed 1-D scratch of length ``n`` and dtype ``dtype``."""
+        dtype = np.dtype(dtype)
+        if self._vec.size < n or self._vec.dtype != dtype:
+            self._vec = np.zeros(n, dtype=dtype)
         v = self._vec[:n]
         v[...] = 0.0
         return v
 
-    def presize(self, n: int, m: int | None = None) -> None:
+    def presize(
+        self, n: int, m: int | None = None, dtype: np.dtype | type = np.float64
+    ) -> None:
         """Grow all scratch buffers to at least ``(n, m)`` up front.
 
-        Worker threads call this once with the block size before entering
-        the task loop so no allocation (and no allocator contention)
-        happens inside the numeric hot path.
+        Worker threads call this once with the block size (and the factor
+        dtype) before entering the task loop so no allocation (and no
+        allocator contention) happens inside the numeric hot path.
         """
         m = n if m is None else m
         for which in ("a", "b", "c"):
-            self.dense(which, (n, m))
-        self.vector(n)
+            self.dense(which, (n, m), dtype)
+        self.vector(n, dtype)
 
 
 def scatter_dense(block: CSCMatrix, out: np.ndarray) -> None:
@@ -122,6 +135,10 @@ def split_lu(diag: CSCMatrix) -> tuple[CSCMatrix, CSCMatrix]:
     u_idx: list[np.ndarray] = []
     u_val: list[np.ndarray] = []
     data = diag.data
+    # the stored unit diagonal must be built in the factor dtype —
+    # np.concatenate([[1.0], float32_vals]) would silently promote the
+    # whole L value array to float64
+    unit = np.ones(1, dtype=data.dtype)
     for j in range(n):
         sl = diag.col_slice(j)
         rows = diag.indices[sl]
@@ -129,7 +146,7 @@ def split_lu(diag: CSCMatrix) -> tuple[CSCMatrix, CSCMatrix]:
         below = rows > j
         upto = rows <= j
         l_idx.append(np.concatenate([[j], rows[below]]))
-        l_val.append(np.concatenate([[1.0], vals[below]]))
+        l_val.append(np.concatenate([unit, vals[below]]))
         u_idx.append(rows[upto])
         u_val.append(vals[upto])
         l_indptr[j + 1] = l_indptr[j] + l_idx[-1].size
@@ -138,14 +155,14 @@ def split_lu(diag: CSCMatrix) -> tuple[CSCMatrix, CSCMatrix]:
         diag.shape,
         l_indptr,
         np.concatenate(l_idx) if l_idx else np.zeros(0, np.int64),
-        np.concatenate(l_val) if l_val else np.zeros(0),
+        np.concatenate(l_val) if l_val else np.zeros(0, dtype=data.dtype),
         check=False,
     )
     u = CSCMatrix(
         diag.shape,
         u_indptr,
         np.concatenate(u_idx) if u_idx else np.zeros(0, np.int64),
-        np.concatenate(u_val) if u_val else np.zeros(0),
+        np.concatenate(u_val) if u_val else np.zeros(0, dtype=data.dtype),
         check=False,
     )
     return l, u

@@ -49,7 +49,7 @@ def gessm_batched(
         l, _ = split_lu(diag)
         lc = sp.csc_matrix((l.data, l.indices, l.indptr), shape=l.shape).tocsr()
         widths = [b.ncols for b in blocks]
-        panel = np.zeros((diag.ncols, int(np.sum(widths))))
+        panel = np.zeros((diag.ncols, int(np.sum(widths))), dtype=diag.data.dtype)
         offset = 0
         for b in blocks:
             rows, cols = b.rows_cols()
@@ -88,7 +88,7 @@ def tstrf_batched(
             (ut.data, ut.indices, ut.indptr), shape=ut.shape
         ).tocsr()
         heights = [b.nrows for b in blocks]
-        panel = np.zeros((diag.ncols, int(np.sum(heights))))
+        panel = np.zeros((diag.ncols, int(np.sum(heights))), dtype=diag.data.dtype)
         offset = 0
         for b in blocks:
             rows, cols = b.rows_cols()

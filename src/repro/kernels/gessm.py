@@ -85,7 +85,7 @@ def gessm_c_v2(diag: CSCMatrix, b: CSCMatrix, ws: Workspace) -> None:
     all right-hand-side columns simultaneously with vectorised rows.
     """
     n, m = b.shape
-    w = ws.dense("a", (n, m))
+    w = ws.dense("a", (n, m), b.data.dtype)
     scatter_dense(b, w)
     for t in range(n):
         xt = w[t, :]
@@ -133,7 +133,7 @@ def gessm_g_v2(diag: CSCMatrix, b: CSCMatrix, ws: Workspace) -> None:
     l, _ = split_lu(diag)
     indptr, cols, vals = csc_to_csr_arrays(l)
     levels = solve_levels(indptr, cols, n)
-    w = ws.dense("a", (n, m))
+    w = ws.dense("a", (n, m), b.data.dtype)
     scatter_dense(b, w)
     for lev in levels:
         for r in lev:
@@ -156,7 +156,7 @@ def gessm_g_v3(diag: CSCMatrix, b: CSCMatrix, ws: Workspace) -> None:
     """
     n, m = b.shape
     l, _ = split_lu(diag)
-    w = ws.dense("a", (n, m))
+    w = ws.dense("a", (n, m), b.data.dtype)
     scatter_dense(b, w)
     lc = sp.csr_matrix(
         (l.data, l.indices, l.indptr), shape=l.shape

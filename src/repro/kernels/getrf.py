@@ -50,7 +50,7 @@ def getrf_c_v1(
     that the O(n³/3) dense work beats sparse bookkeeping.
     """
     n = block.ncols
-    w = ws.dense("a", (n, n))
+    w = ws.dense("a", (n, n), block.data.dtype)
     scatter_dense(block, w)
     scale = (float(np.abs(block.data).max()) if block.nnz else 0.0) or 1.0
     replaced = 0
@@ -130,7 +130,7 @@ def getrf_g_v2(
     indptr, indices, data = block.indptr, block.indices, block.data
     scale = (float(np.abs(data).max()) if data.size else 0.0) or 1.0
     replaced = 0
-    x = ws.vector(n)
+    x = ws.vector(n, data.dtype)
     for j in range(n):
         lo, hi = int(indptr[j]), int(indptr[j + 1])
         rows_j = indices[lo:hi]

@@ -56,9 +56,9 @@ def ssssm_c_v1(c: CSCMatrix, a: CSCMatrix, b: CSCMatrix, ws: Workspace) -> None:
     Wins when the blocks are dense (audikw_1-style matrices) — exactly the
     regime where supernodal dense BLAS is competitive.
     """
-    wa = ws.dense("a", a.shape)
-    wb = ws.dense("b", b.shape)
-    wc = ws.dense("c", c.shape)
+    wa = ws.dense("a", a.shape, a.data.dtype)
+    wb = ws.dense("b", b.shape, b.data.dtype)
+    wc = ws.dense("c", c.shape, c.data.dtype)
     scatter_dense(a, wa)
     scatter_dense(b, wb)
     scatter_dense(c, wc)
@@ -135,7 +135,7 @@ def ssssm_g_v2(c: CSCMatrix, a: CSCMatrix, b: CSCMatrix, ws: Workspace) -> None:
     by column with direct (dense) addressing — no searches, no full GEMM.
     Strong when ``C`` is dense but ``A``/``B`` are sparse.
     """
-    wc = ws.dense("c", c.shape)
+    wc = ws.dense("c", c.shape, c.data.dtype)
     scatter_dense(c, wc)
     a_indptr, a_indices, a_data = a.indptr, a.indices, a.data
     for j in range(b.ncols):

@@ -104,7 +104,7 @@ def tstrf_c_v2(diag: CSCMatrix, b: CSCMatrix, ws: Workspace) -> None:
     each solved column of ``X`` immediately updates the later columns.
     """
     n, m = b.shape  # b is n-rows tall, m = diag order? no: X U = B, U m×m
-    w = ws.dense("a", (n, m))
+    w = ws.dense("a", (n, m), b.data.dtype)
     scatter_dense(b, w)
     data = diag.data
     for c in range(m):
@@ -141,7 +141,7 @@ def tstrf_g_v2(diag: CSCMatrix, b: CSCMatrix, ws: Workspace) -> None:
     indptr, cols, vals = csc_to_csr_arrays(ut)
     levels = solve_levels(indptr, cols, n)
     # dense panel of B^T: shape (n, m)
-    w = ws.dense("a", (n, m))
+    w = ws.dense("a", (n, m), b.data.dtype)
     rows_b, cols_b = b.rows_cols()
     w[cols_b, rows_b] = b.data
     for lev in levels:
@@ -166,7 +166,7 @@ def tstrf_g_v3(diag: CSCMatrix, b: CSCMatrix, ws: Workspace) -> None:
     ut = _upper_transposed(diag)
     n = ut.ncols
     m = b.nrows
-    w = ws.dense("a", (n, m))
+    w = ws.dense("a", (n, m), b.data.dtype)
     rows_b, cols_b = b.rows_cols()
     w[cols_b, rows_b] = b.data
     ut_csr = sp.csc_matrix(

@@ -154,7 +154,11 @@ def simulate_tsolve(
 
     grid = ProcessGrid.square(nprocs)
     dag = build_tsolve_dag(f, grid.owner)
-    nbytes = dag.flops / 2.0 * 12.0  # one value+index stream per mult-add
+    from .costmodel import bytes_per_entry
+
+    # one value+index stream per mult-add, at the factor's actual itemsize
+    itemsize = float(getattr(f, "dtype", np.dtype(np.float64)).itemsize)
+    nbytes = dag.flops / 2.0 * bytes_per_entry(itemsize)
     per_device = []
     for device in (platform.gpu, platform.cpu):
         per_device.append(

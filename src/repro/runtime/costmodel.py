@@ -37,11 +37,28 @@ __all__ = [
     "extract_sim_tasks",
     "simulated_trees",
     "BYTES_PER_ENTRY",
+    "INDEX_BYTES",
+    "bytes_per_entry",
 ]
 
-#: bytes of one stored sparse entry (8-byte value + 4-byte index, amortised
-#: column pointers ignored)
-BYTES_PER_ENTRY = 12.0
+#: bytes of one stored row index (amortised column pointers ignored)
+INDEX_BYTES = 4.0
+
+
+def bytes_per_entry(value_itemsize: float = 8.0) -> float:
+    """Model bytes of one stored sparse entry: value + row index.
+
+    ``value_itemsize`` is the factor dtype's itemsize — 8 for the float64
+    default, 4 on the mixed-precision float32 path (halving the value
+    stream the roofline charges).
+    """
+    return float(value_itemsize) + INDEX_BYTES
+
+
+#: bytes of one stored sparse entry at the float64 model default
+#: (8-byte value + 4-byte index); dtype-aware callers should use
+#: :func:`bytes_per_entry` with the factor's actual itemsize instead
+BYTES_PER_ENTRY = bytes_per_entry(8.0)
 
 
 @dataclass(frozen=True)
@@ -63,6 +80,7 @@ class SimTask:
     inner: int          # contraction dimension (diag/block order)
     out_bytes: float    # message size when the result must move
     operand_density: float = 0.0  # max operand density (regularity proxy)
+    value_itemsize: float = 8.0   # factor value bytes (4 on the f32 path)
 
 
 @dataclass(frozen=True)
@@ -128,13 +146,15 @@ def kernel_time(task: SimTask, version: str, platform: Platform) -> float:
         )
         eff = base * profile.eff_scale
     if profile.dense_bytes:
-        nbytes = 8.0 * (
+        nbytes = task.value_itemsize * (
             task.rows * task.cols
             + task.inner * task.cols
             + task.rows * task.inner
         )
     else:
-        nbytes = BYTES_PER_ENTRY * (task.nnz_a + task.nnz_b + 2 * task.nnz_target)
+        nbytes = bytes_per_entry(task.value_itemsize) * (
+            task.nnz_a + task.nnz_b + 2 * task.nnz_target
+        )
     t_compute = work / (device.flops_peak * eff) if work else 0.0
     t_memory = nbytes / device.mem_bw
     return device.launch_overhead * profile.launch_scale + max(t_compute, t_memory)
@@ -163,7 +183,11 @@ def extract_sim_tasks(f: BlockMatrix, dag: TaskDAG) -> list[SimTask]:
 
     Uses only patterns — callable before (or without) any numeric work,
     which is how the scalability benches sweep process counts cheaply.
+    The byte model is priced at the structure's value dtype, so a
+    float32-partitioned matrix is simulated with its actual (halved)
+    value traffic.
     """
+    itemsize = float(getattr(f, "dtype", np.dtype(np.float64)).itemsize)
     out: list[SimTask] = []
     for t in dag.tasks:
         target = f.block(t.bi, t.bj)
@@ -212,8 +236,9 @@ def extract_sim_tasks(f: BlockMatrix, dag: TaskDAG) -> list[SimTask]:
                 rows=rows_n,
                 cols=cols_n,
                 inner=int(inner),
-                out_bytes=BYTES_PER_ENTRY * target.nnz,
+                out_bytes=bytes_per_entry(itemsize) * target.nnz,
                 operand_density=float(op_density),
+                value_itemsize=itemsize,
             )
         )
     return out

@@ -8,7 +8,9 @@ own lightweight, NumPy-backed container rather than relying on
 
 * ``indptr`` is a monotone ``int64`` array of length ``ncols + 1``;
 * ``indices`` holds row indices, **sorted and unique within each column**;
-* ``data`` is ``float64`` and aligned with ``indices``.
+* ``data`` is a floating value array aligned with ``indices`` — ``float64``
+  by default, ``float32`` on the mixed-precision factor path (any other
+  input dtype is coerced to ``float64``).
 
 Sorted-unique columns are what make the paper's "bin-search" kernel
 addressing (``numpy.searchsorted`` into a fixed symbolic pattern) valid.
@@ -23,7 +25,20 @@ from typing import Iterable
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["CSCMatrix", "coo_to_csc"]
+__all__ = ["CSCMatrix", "coo_to_csc", "VALUE_DTYPES"]
+
+#: value dtypes the container stores natively; anything else is coerced
+#: to float64 (ints, python floats, float16, …)
+VALUE_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def _as_values(values: np.ndarray, dtype: np.dtype | None = None) -> np.ndarray:
+    """Normalise a value array: contiguous, float32/float64 preserved,
+    every other dtype coerced to float64."""
+    arr = np.asarray(values)
+    if dtype is None:
+        dtype = arr.dtype if arr.dtype in VALUE_DTYPES else np.dtype(np.float64)
+    return np.ascontiguousarray(arr, dtype=dtype)
 
 
 class CSCMatrix:
@@ -51,9 +66,14 @@ class CSCMatrix:
         Row indices, length ``nnz``; must be sorted and unique per column
         (validated when ``check=True``).
     data:
-        Numeric values aligned with ``indices``.  May be ``None`` for a
-        pattern-only (symbolic) matrix, in which case a zero array is
-        allocated lazily on first access.
+        Numeric values aligned with ``indices``.  ``float32`` and
+        ``float64`` inputs keep their dtype; anything else is coerced to
+        ``float64``.  May be ``None`` for a pattern-only (symbolic)
+        matrix, in which case a zero array (of ``dtype``) is allocated
+        lazily on first access.
+    dtype:
+        Value dtype for a pattern-only matrix (ignored when ``data`` is
+        given).  Defaults to ``float64``.
     check:
         Validate invariants on construction.  Defaults to ``True``; internal
         hot paths pass ``False`` after constructing arrays that satisfy the
@@ -64,7 +84,7 @@ class CSCMatrix:
     # time), so the `picklable-messages` lint rule audits this class
     __transport_message__ = True
 
-    __slots__ = ("shape", "indptr", "indices", "_data", "_cols")
+    __slots__ = ("shape", "indptr", "indices", "_data", "_dtype", "_cols")
 
     def __init__(
         self,
@@ -73,6 +93,7 @@ class CSCMatrix:
         indices: np.ndarray,
         data: np.ndarray | None = None,
         *,
+        dtype: np.dtype | type | None = None,
         check: bool = True,
     ) -> None:
         self.shape = (int(shape[0]), int(shape[1]))
@@ -80,8 +101,12 @@ class CSCMatrix:
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
         if data is None:
             self._data = None
+            self._dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+            if self._dtype not in VALUE_DTYPES:
+                raise TypeError(f"unsupported value dtype {self._dtype}")
         else:
-            self._data = np.ascontiguousarray(data, dtype=np.float64)
+            self._data = _as_values(data, None if dtype is None else np.dtype(dtype))
+            self._dtype = self._data.dtype
         self._cols = None
         if check:
             self._validate()
@@ -122,15 +147,22 @@ class CSCMatrix:
     def data(self) -> np.ndarray:
         """Numeric values; allocated as zeros on first access for symbolic matrices."""
         if self._data is None:
-            self._data = np.zeros(self.nnz, dtype=np.float64)
+            self._data = np.zeros(self.nnz, dtype=self._dtype)
         return self._data
 
     @data.setter
     def data(self, values: np.ndarray) -> None:
-        values = np.ascontiguousarray(values, dtype=np.float64)
+        values = _as_values(values)
         if values.size != self.nnz:
             raise ValueError(f"data has {values.size} entries, expected {self.nnz}")
         self._data = values
+        self._dtype = values.dtype
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Value dtype (meaningful even before a symbolic matrix's lazy
+        zero array is materialised)."""
+        return self._dtype
 
     @property
     def nnz(self) -> int:
@@ -157,7 +189,7 @@ class CSCMatrix:
         materialising the lazy zero array of a symbolic matrix."""
         if self._data is not None:
             return self._data.nbytes
-        return self.nnz * np.dtype(np.float64).itemsize
+        return self.nnz * self._dtype.itemsize
 
     @property
     def density(self) -> float:
@@ -192,8 +224,11 @@ class CSCMatrix:
     # ------------------------------------------------------------------
     @classmethod
     def from_dense(cls, dense: np.ndarray, *, drop_tol: float = 0.0) -> "CSCMatrix":
-        """Build from a dense array, keeping entries with ``|a_ij| > drop_tol``."""
-        dense = np.asarray(dense, dtype=np.float64)
+        """Build from a dense array, keeping entries with ``|a_ij| > drop_tol``.
+
+        ``float32``/``float64`` inputs keep their dtype; everything else
+        is coerced to ``float64``."""
+        dense = _as_values(dense)
         if dense.ndim != 2:
             raise ValueError("dense input must be 2-D")
         mask = np.abs(dense) > drop_tol
@@ -228,48 +263,53 @@ class CSCMatrix:
         ``block.data[...]`` must land in the backing slab.  The regular
         constructor normalises via ``ascontiguousarray``, which silently
         copies on a dtype or layout mismatch and would decouple the block
-        from its slab — so this constructor demands exact dtypes and
+        from its slab — so this constructor demands exact dtypes
+        (``int64`` structure, ``float32`` or ``float64`` values) and
         raises instead of copying.
         """
-        for arr, want, what in (
-            (indptr, np.int64, "indptr"),
-            (indices, np.int64, "indices"),
-            (data, np.float64, "data"),
-        ):
-            if arr.dtype != want:
+        for arr, what in ((indptr, "indptr"), (indices, "indices")):
+            if arr.dtype != np.int64:
                 raise TypeError(
-                    f"from_views requires {what} of dtype {np.dtype(want)}, "
+                    f"from_views requires {what} of dtype int64, "
                     f"got {arr.dtype} (would silently copy)"
                 )
+        if data.dtype not in VALUE_DTYPES:
+            raise TypeError(
+                "from_views requires data of dtype float32 or float64, "
+                f"got {data.dtype} (would silently copy)"
+            )
         m = cls.__new__(cls)
         m.shape = (int(shape[0]), int(shape[1]))
         m.indptr = indptr
         m.indices = indices
         m._data = data
+        m._dtype = data.dtype
         m._cols = None
         return m
 
     @classmethod
-    def eye(cls, n: int) -> "CSCMatrix":
+    def eye(cls, n: int, *, dtype: np.dtype | type = np.float64) -> "CSCMatrix":
         """Identity matrix of order ``n``."""
         indptr = np.arange(n + 1, dtype=np.int64)
         indices = np.arange(n, dtype=np.int64)
-        return cls((n, n), indptr, indices, np.ones(n), check=False)
+        return cls((n, n), indptr, indices, np.ones(n, dtype=dtype), check=False)
 
     @classmethod
-    def empty(cls, shape: tuple[int, int]) -> "CSCMatrix":
+    def empty(
+        cls, shape: tuple[int, int], *, dtype: np.dtype | type = np.float64
+    ) -> "CSCMatrix":
         """All-zero matrix of the given shape."""
         return cls(
             shape,
             np.zeros(shape[1] + 1, dtype=np.int64),
             np.zeros(0, dtype=np.int64),
-            np.zeros(0),
+            np.zeros(0, dtype=dtype),
             check=False,
         )
 
     def to_dense(self) -> np.ndarray:
-        """Expand to a dense ``float64`` array."""
-        out = np.zeros(self.shape, dtype=np.float64)
+        """Expand to a dense array of the matrix's value dtype."""
+        out = np.zeros(self.shape, dtype=self._dtype)
         ncols = self.shape[1]
         cols = np.repeat(np.arange(ncols), np.diff(self.indptr))
         out[self.indices, cols] = self.data
@@ -289,13 +329,37 @@ class CSCMatrix:
             self.indptr.copy(),
             self.indices.copy(),
             None if self._data is None else self._data.copy(),
+            dtype=self._dtype,
             check=False,
         )
 
     def pattern_copy(self) -> "CSCMatrix":
-        """Copy of the pattern with zero values."""
+        """Copy of the pattern with zero values (same value dtype)."""
         return CSCMatrix(
-            self.shape, self.indptr.copy(), self.indices.copy(), None, check=False
+            self.shape,
+            self.indptr.copy(),
+            self.indices.copy(),
+            None,
+            dtype=self._dtype,
+            check=False,
+        )
+
+    def astype(self, dtype: np.dtype | type) -> "CSCMatrix":
+        """Copy with values cast to ``dtype`` (``float32`` or ``float64``).
+
+        The structural arrays are copied too, so the result shares no
+        storage with ``self`` even when the dtype is unchanged.
+        """
+        dtype = np.dtype(dtype)
+        if dtype not in VALUE_DTYPES:
+            raise TypeError(f"unsupported value dtype {dtype}")
+        return CSCMatrix(
+            self.shape,
+            self.indptr.copy(),
+            self.indices.copy(),
+            None if self._data is None else self._data.astype(dtype),
+            dtype=dtype,
+            check=False,
         )
 
     # ------------------------------------------------------------------
@@ -309,7 +373,7 @@ class CSCMatrix:
         np.add.at(t_indptr, self.indices + 1, 1)
         np.cumsum(t_indptr, out=t_indptr)
         t_indices = np.empty(nnz, dtype=np.int64)
-        t_data = np.empty(nnz, dtype=np.float64)
+        t_data = np.empty(nnz, dtype=self._dtype)
         fill = t_indptr[:-1].copy()
         cols = np.repeat(np.arange(ncols, dtype=np.int64), np.diff(self.indptr))
         # stable counting pass: entries of a row arrive in increasing column
@@ -345,7 +409,7 @@ class CSCMatrix:
         np.cumsum(counts, out=new_indptr[1:])
         nnz = int(new_indptr[-1])
         new_indices = np.empty(nnz, dtype=np.int64)
-        new_data = np.empty(nnz, dtype=np.float64)
+        new_data = np.empty(nnz, dtype=self._dtype)
         data = self.data
         for newj in range(ncols):
             oldj = int(col_perm[newj])
@@ -365,7 +429,7 @@ class CSCMatrix:
     def diagonal(self) -> np.ndarray:
         """Extract the main diagonal as a dense vector."""
         n = min(self.shape)
-        out = np.zeros(n, dtype=np.float64)
+        out = np.zeros(n, dtype=self._dtype)
         data = self.data
         for j in range(n):
             rows, _ = self.indices[self.col_slice(j)], None
@@ -406,8 +470,8 @@ class CSCMatrix:
         """Matrix ∞-norm (max absolute row sum)."""
         if self.nnz == 0:
             return 0.0
-        sums = np.zeros(self.nrows)
-        np.add.at(sums, self.indices, np.abs(self.data))
+        sums = np.zeros(self.nrows, dtype=np.float64)
+        np.add.at(sums, self.indices, np.abs(self.data).astype(np.float64, copy=False))
         return float(sums.max())
 
     def matmat(self, x: np.ndarray) -> np.ndarray:
@@ -458,7 +522,11 @@ class CSCMatrix:
             chunks_val.append(data[sl][keep])
             indptr[out_j + 1] = indptr[out_j] + chunks_idx[-1].size
         indices = np.concatenate(chunks_idx) if chunks_idx else np.zeros(0, np.int64)
-        vals = np.concatenate(chunks_val) if chunks_val else np.zeros(0)
+        vals = (
+            np.concatenate(chunks_val)
+            if chunks_val
+            else np.zeros(0, dtype=self._dtype)
+        )
         return CSCMatrix((rows.size, cols.size), indptr, indices, vals, check=False)
 
     def __eq__(self, other: object) -> bool:
@@ -495,7 +563,7 @@ def coo_to_csc(
     if vals is None:
         vals = np.ones(rows.size, dtype=np.float64)
     else:
-        vals = np.asarray(vals, dtype=np.float64)
+        vals = _as_values(vals)
     if not (rows.size == cols.size == vals.size):
         raise ValueError("rows, cols, vals must have equal length")
     nrows, ncols = shape
@@ -517,7 +585,7 @@ def coo_to_csc(
                 raise ValueError("duplicate entries present")
             # segment-sum duplicates into their first occurrence
             group = np.cumsum(~dup) - 1
-            out_vals = np.zeros(int(group[-1]) + 1, dtype=np.float64)
+            out_vals = np.zeros(int(group[-1]) + 1, dtype=vals.dtype)
             np.add.at(out_vals, group, vals)
             keep = ~dup
             rows, cols, vals = rows[keep], cols[keep], out_vals

@@ -1,0 +1,25 @@
+"""Should-flag fixture for the `no-implicit-float64` rule."""
+
+import numpy as np
+import numpy
+
+
+def scratch_defaults_to_double(n):
+    w = np.zeros(n)                       # silently float64
+    return w
+
+
+def panel_defaults_to_double(rows, cols):
+    return np.empty((rows, cols))         # shape tuple, still no dtype
+
+
+def unit_diag_defaults_to_double(n):
+    return np.ones(n)
+
+
+def fill_value_defaults(n, v):
+    return np.full(n, v)                  # value dtype inferred, not stated
+
+
+def qualified_import_counts_too(n):
+    return numpy.zeros(n)
