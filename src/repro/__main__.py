@@ -42,6 +42,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     solver = PanguLU(
         a, SolverOptions(
             ordering=args.ordering,
+            blocking=args.blocking,
             n_workers=args.workers,
             nprocs=max(1, args.workers) if args.engine == "distributed" else 1,
             engine=args.engine,
@@ -53,9 +54,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(0)
     b = np.ones(a.nrows) if args.rhs == "ones" else rng.standard_normal(a.nrows)
     x = solver.solve(b)
+    blocks = solver.blocks
+    if blocks.is_regular:
+        shape = f"of {blocks.bs}"
+    else:
+        widths = np.diff(blocks.boundaries)
+        shape = f"of {int(widths.min())}..{int(widths.max())} ({args.blocking})"
     print(f"n = {a.nrows}, nnz = {a.nnz}, "
           f"nnz(L+U) = {solver.symbolic.nnz_lu}, "
-          f"blocks = {solver.blocks.nb}×{solver.blocks.nb} of {solver.blocks.bs}")
+          f"blocks = {blocks.nb}×{blocks.nb} {shape}")
     print(f"engine = {solver.options.resolved_engine()}, "
           f"factor dtype = {solver.blocks.dtype}, "
           f"relative residual = {solver.residual_norm(x, b):.3e}")
@@ -104,12 +111,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
     a = _load(args.matrix, args.scale)
-    solver = PanguLU(a)
+    solver = PanguLU(a, SolverOptions(blocking=args.blocking))
     est = solver.estimate(proc_counts=tuple(args.procs))
     print(f"n = {est['n']}, nnz = {est['nnz']}, nnz(L+U) = {est['nnz_lu']} "
           f"(fill {est['fill_ratio']:.2f}x)")
     print(f"flops = {est['flops']:,}, tasks = {est['tasks']}, "
-          f"blocks {est['block_grid']}×{est['block_grid']} of {est['block_size']}")
+          f"blocks {est['block_grid']}×{est['block_grid']} of {est['block_size']}"
+          f" ({est['blocking']})")
     print(f"factor storage = {est['factor_bytes'] / 1024:.1f} KiB")
     rows = [
         [plat, p, v["seconds"] * 1e3, v["gflops"], 100 * v["sync_ratio"]]
@@ -168,6 +176,11 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("solve", help="solve A x = b for a .mtx file or analogue")
     p.add_argument("matrix", help=".mtx path or a paper matrix name")
     p.add_argument("--ordering", default="nd", choices=["nd", "amd", "rcm", "natural"])
+    p.add_argument("--blocking", default="regular",
+                   choices=["regular", "irregular"],
+                   help="blocking strategy: one uniform block size "
+                        "(regular, the paper's layout) or supernode-guided "
+                        "variable-width boundaries (irregular)")
     p.add_argument("--dtype", default="float64", choices=["float64", "float32"],
                    help="working precision of the factors; float32 halves "
                         "factor storage and recovers accuracy by iterative "
@@ -209,6 +222,8 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("estimate", help="plan a factorisation (no numeric work)")
     p.add_argument("matrix")
+    p.add_argument("--blocking", default="regular",
+                   choices=["regular", "irregular"])
     p.add_argument("--scale", type=float, default=0.3)
     p.add_argument("--procs", type=int, nargs="+", default=[1, 4, 16, 64])
     p.set_defaults(func=_cmd_estimate)

@@ -122,9 +122,8 @@ class PanguLLt:
         """``L y = b`` (non-unit lower) over the block layout."""
         f = self.blocks
         y = b.copy()
-        bs = f.bs
         for k in range(f.nb):
-            seg = slice(k * bs, k * bs + f.block_order(k))
+            seg = f.block_slice(k)
             diag = f.block(k, k)
             _solve_lower_nonunit(diag, y[seg])
             rows, blocks = f.blocks_in_column(k)
@@ -132,7 +131,7 @@ class PanguLLt:
                 bi = int(bi)
                 if bi <= k:
                     continue
-                tgt = slice(bi * bs, bi * bs + f.block_order(bi))
+                tgt = f.block_slice(bi)
                 cols = blk.cols_expanded()
                 np.subtract.at(y[tgt], blk.indices, blk.data * y[seg][cols])
         return y
@@ -141,16 +140,15 @@ class PanguLLt:
         """``Lᵀ x = y`` over the block layout (transposed sweeps)."""
         f = self.blocks
         x = y.copy()
-        bs = f.bs
         for k in range(f.nb - 1, -1, -1):
-            seg = slice(k * bs, k * bs + f.block_order(k))
+            seg = f.block_slice(k)
             # contributions of later segments through L(i,k)ᵀ, i > k
             rows, blocks = f.blocks_in_column(k)
             for bi, blk in zip(rows, blocks):
                 bi = int(bi)
                 if bi <= k:
                     continue
-                src = slice(bi * bs, bi * bs + f.block_order(bi))
+                src = f.block_slice(bi)
                 cols = blk.cols_expanded()
                 np.subtract.at(x[seg], cols, blk.data * x[src][blk.indices])
             diag = f.block(k, k)

@@ -1,10 +1,31 @@
-"""PanguLU core: regular 2D blocking, block-cyclic mapping with static
-load balancing, the task DAG, the numeric driver, block triangular solves
-and the five-phase solver facade."""
+"""PanguLU core: 2D blocking (regular or structure-aware irregular),
+block-cyclic mapping with static load balancing, the task DAG, the
+numeric driver, block triangular solves and the five-phase solver
+facade."""
 
-from .blocking import BlockMatrix, FactorArena, block_partition, choose_block_size
+from .blocking import (
+    BlockMatrix,
+    BlockSizeDecision,
+    FactorArena,
+    block_partition,
+    block_size_decision,
+    boundaries_from_block_size,
+    choose_block_size,
+)
 from .dag import Task, TaskDAG, TaskType, build_dag, sync_free_array
-from .mapping import ProcessGrid, assign_tasks, balance_loads, load_imbalance
+from .mapping import (
+    ProcessGrid,
+    assign_tasks,
+    balance_loads,
+    load_imbalance,
+    task_weights,
+)
+from .strategy import (
+    BlockingStrategy,
+    IrregularBlocking,
+    RegularBlocking,
+    get_blocking_strategy,
+)
 from .numeric import (
     FactorizeStats,
     NumericOptions,
@@ -30,9 +51,17 @@ from .tsolve_dag import TSolveDAG, TSolveTaskType, build_tsolve_dag
 
 __all__ = [
     "BlockMatrix",
+    "BlockSizeDecision",
     "FactorArena",
     "block_partition",
+    "block_size_decision",
+    "boundaries_from_block_size",
     "choose_block_size",
+    "BlockingStrategy",
+    "RegularBlocking",
+    "IrregularBlocking",
+    "get_blocking_strategy",
+    "task_weights",
     "Task",
     "TaskDAG",
     "TaskType",

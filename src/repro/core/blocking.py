@@ -1,10 +1,19 @@
-"""Regular 2D blocking — PanguLU's two-layer sparse structure (Fig. 6).
+"""2D blocking — PanguLU's two-layer sparse structure (Fig. 6).
 
-The filled matrix (output of symbolic factorisation) is split into square
-blocks of one fixed size.  Layer 1 is a *block-level CSC*: the arrays
-``blk_colptr`` / ``blk_rowidx`` compress the nonzero blocks of each block
-column, and ``blk_values`` holds the per-block payloads.  Layer 2 is the
-CSC pattern *inside* each block.  Empty blocks are not stored.
+The filled matrix (output of symbolic factorisation) is split into blocks
+along one shared boundary array for rows and columns.  Layer 1 is a
+*block-level CSC*: the arrays ``blk_colptr`` / ``blk_rowidx`` compress the
+nonzero blocks of each block column, and ``blk_values`` holds the per-block
+payloads.  Layer 2 is the CSC pattern *inside* each block.  Empty blocks
+are not stored.
+
+The boundary array is what a :class:`~repro.core.strategy.BlockingStrategy`
+produces: regular blocking emits equispaced boundaries (one fixed block
+size, last block possibly short), irregular blocking emits boundaries
+aligned with the symbolic fill's supernode structure.  Everything below
+the partition — storage, mapping, kernels, runtime — addresses blocks
+through :meth:`BlockMatrix.block_start` / :meth:`BlockMatrix.block_order`
+and never assumes a uniform spacing.
 
 Because every block keeps its exact sparse pattern (no supernode padding),
 the numeric kernels never compute with structural zeros — the central
@@ -28,13 +37,90 @@ Two physical layouts back the same logical structure:
 from __future__ import annotations
 
 import dataclasses
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..sparse.csc import CSCMatrix
 
-__all__ = ["BlockMatrix", "FactorArena", "choose_block_size", "block_partition"]
+__all__ = [
+    "BlockMatrix",
+    "FactorArena",
+    "BlockSizeDecision",
+    "block_size_decision",
+    "choose_block_size",
+    "boundaries_from_block_size",
+    "block_partition",
+]
+
+logger = logging.getLogger(__name__)
+
+#: coarsening floor on the average dense block payload ``nnz(L+U) / nb²``
+MIN_AVG_BLOCK_NNZ = 12.0
+
+
+@dataclass(frozen=True)
+class BlockSizeDecision:
+    """Every input and intermediate of the block-size heuristic.
+
+    :func:`choose_block_size` used to return a silently clamped scalar;
+    this record makes the decision inspectable — which clamp fired, what
+    the pre-clamp grid and block size were — for logs, benches, and tests.
+    """
+
+    n: int                  #: matrix order
+    nnz_filled: int         #: nnz of the filled (post-symbolic) matrix
+    min_bs: int             #: lower clamp on the block size
+    max_bs: int             #: upper clamp on the block size
+    nb_sqrt: int            #: sqrt(n) grid before the 4..128 grid clamp
+    nb_grid: int            #: grid after the 4..128 clamp, before coarsening
+    nb: int                 #: final grid after density-driven coarsening
+    avg_block_nnz: float    #: nnz_filled / nb² at the final grid
+    bs_raw: int             #: ceil(n / nb) before the [min_bs, max_bs] clamp
+    bs: int                 #: the chosen block size (what callers use)
+
+    @property
+    def grid_clamped(self) -> bool:
+        """True when the 4..128 grid clamp changed ``nb_sqrt``."""
+        return self.nb_grid != self.nb_sqrt
+
+    @property
+    def size_clamped(self) -> bool:
+        """True when the ``[min_bs, max_bs]`` clamp changed ``bs_raw``."""
+        return self.bs != self.bs_raw
+
+
+def block_size_decision(
+    n: int, nnz_filled: int, *, min_bs: int = 8, max_bs: int = 512
+) -> BlockSizeDecision:
+    """The block-size heuristic with its full decision trace.
+
+    Same computation as :func:`choose_block_size` (which delegates here);
+    returns a :class:`BlockSizeDecision` instead of the bare scalar so
+    callers can see whether — and which — clamp fired.
+    """
+    if n <= 0:
+        raise ValueError("matrix order must be positive")
+    nb_sqrt = int(round(np.sqrt(n)))
+    nb_grid = int(np.clip(nb_sqrt, 4, 128))
+    nb = nb_grid
+    while nb > 4 and nnz_filled / (nb * nb) < MIN_AVG_BLOCK_NNZ:
+        nb = max(4, nb // 2)
+    bs_raw = -(-n // nb)
+    bs = int(np.clip(bs_raw, min_bs, max(max_bs, min_bs)))
+    return BlockSizeDecision(
+        n=n,
+        nnz_filled=nnz_filled,
+        min_bs=min_bs,
+        max_bs=max_bs,
+        nb_sqrt=nb_sqrt,
+        nb_grid=nb_grid,
+        nb=nb,
+        avg_block_nnz=nnz_filled / (nb * nb),
+        bs_raw=bs_raw,
+        bs=bs,
+    )
 
 
 def choose_block_size(
@@ -54,14 +140,28 @@ def choose_block_size(
       ``nnz(L+U) / nb²`` falls below a floor, so very sparse matrices get
       bigger blocks (more nonzeros per kernel call);
     * clamp the resulting block size to ``[min_bs, max_bs]``.
+
+    Use :func:`block_size_decision` for the full decision trace (clamp
+    provenance, pre-clamp grid and size).
     """
-    if n <= 0:
-        raise ValueError("matrix order must be positive")
-    nb = int(np.clip(round(np.sqrt(n)), 4, 128))
-    while nb > 4 and nnz_filled / (nb * nb) < 12.0:
-        nb = max(4, nb // 2)
-    bs = -(-n // nb)
-    return int(np.clip(bs, min_bs, max(max_bs, min_bs)))
+    d = block_size_decision(n, nnz_filled, min_bs=min_bs, max_bs=max_bs)
+    if d.size_clamped:
+        logger.debug(
+            "choose_block_size(n=%d, nnz=%d): bs %d clamped to %d "
+            "(range %d..%d, grid %d, avg block nnz %.1f)",
+            d.n, d.nnz_filled, d.bs_raw, d.bs, d.min_bs, d.max_bs,
+            d.nb, d.avg_block_nnz,
+        )
+    return d.bs
+
+
+def boundaries_from_block_size(n: int, bs: int) -> np.ndarray:
+    """Equispaced block boundaries ``[0, bs, 2·bs, …, n]`` (the regular
+    layout: every block ``bs`` wide except a possibly short last one)."""
+    if bs <= 0:
+        raise ValueError("block size must be positive")
+    nb = -(-n // bs)
+    return np.minimum(np.arange(nb + 1, dtype=np.int64) * bs, n)
 
 
 @dataclass
@@ -146,9 +246,17 @@ class BlockMatrix:
     n:
         Matrix order.
     bs:
-        Regular block size (last block row/column may be smaller).
+        Nominal block size.  For a regular partition this is the uniform
+        spacing (last block row/column may be smaller); for an irregular
+        partition it is the widest block extent.  Layout-independent code
+        must use :meth:`block_start` / :meth:`block_order` instead.
     nb:
-        Number of block rows/columns: ``ceil(n / bs)``.
+        Number of block rows/columns (``len(boundaries) - 1``).
+    boundaries:
+        Block boundary array of length ``nb + 1`` with
+        ``boundaries[0] == 0`` and ``boundaries[-1] == n``; block ``b``
+        spans global rows/columns ``boundaries[b]:boundaries[b + 1]``.
+        Shared by rows and columns, so diagonal blocks stay square.
     blk_colptr, blk_rowidx:
         Layer-1 CSC arrays over blocks: block column ``bj`` owns the block
         rows ``blk_rowidx[blk_colptr[bj]:blk_colptr[bj+1]]`` (sorted).
@@ -189,12 +297,41 @@ class BlockMatrix:
     plan_cache: object | None = field(default=None, repr=False)
     arena: FactorArena | None = field(default=None, repr=False)
     dtype: np.dtype = field(default_factory=lambda: np.dtype(np.float64))
+    boundaries: np.ndarray | None = field(default=None, repr=False)
     _index: dict | None = field(default=None, repr=False)
 
+    def __post_init__(self) -> None:
+        if self.boundaries is None:
+            # hand-built regular structures (tests, fixtures) may omit the
+            # boundary array; derive the equispaced one from bs
+            self.boundaries = boundaries_from_block_size(self.n, self.bs)
+
     # ------------------------------------------------------------------
+    def block_start(self, b: int) -> int:
+        """First global row/column of block index ``b``."""
+        return int(self.boundaries[b])
+
     def block_order(self, b: int) -> int:
-        """Row/column count of block index ``b`` (the last may be short)."""
-        return min(self.bs, self.n - b * self.bs)
+        """Row/column count of block index ``b``."""
+        return int(self.boundaries[b + 1] - self.boundaries[b])
+
+    def block_slice(self, b: int) -> slice:
+        """Global row/column slice covered by block index ``b``."""
+        return slice(int(self.boundaries[b]), int(self.boundaries[b + 1]))
+
+    @property
+    def max_block_order(self) -> int:
+        """Widest block extent (workspace sizing for any block)."""
+        return int(np.diff(self.boundaries).max()) if self.nb else 0
+
+    @property
+    def is_regular(self) -> bool:
+        """True when every block (except possibly the last) spans ``bs``."""
+        return bool(
+            np.array_equal(
+                self.boundaries, boundaries_from_block_size(self.n, self.bs)
+            )
+        )
 
     # ------------------------------------------------------------------
     # arena views & serialisation
@@ -290,8 +427,8 @@ class BlockMatrix:
                 bi = int(self.blk_rowidx[slot])
                 blk = self.blk_values[slot]
                 r, c = blk.rows_cols()
-                rows_parts.append(r + bi * self.bs)
-                cols_parts.append(c + bj * self.bs)
+                rows_parts.append(r + self.block_start(bi))
+                cols_parts.append(c + self.block_start(bj))
                 vals_parts.append(blk.data)
         from ..sparse.csc import coo_to_csc
 
@@ -329,14 +466,36 @@ def _supports(blocks: list[CSCMatrix]) -> tuple[list[np.ndarray], list[np.ndarra
     return col_support, row_support
 
 
+def _validate_boundaries(n: int, boundaries: np.ndarray) -> np.ndarray:
+    """Check a block-boundary array for matrix order ``n``."""
+    boundaries = np.asarray(boundaries, dtype=np.int64)
+    if boundaries.ndim != 1 or boundaries.size < 2:
+        raise ValueError("boundaries must be a 1-D array of length >= 2")
+    if boundaries[0] != 0 or boundaries[-1] != n:
+        raise ValueError(
+            f"boundaries must run from 0 to n={n}, got "
+            f"[{boundaries[0]}, ..., {boundaries[-1]}]"
+        )
+    if np.any(np.diff(boundaries) <= 0):
+        raise ValueError("boundaries must be strictly increasing")
+    return boundaries
+
+
 def block_partition(
     filled: CSCMatrix,
-    bs: int,
+    bs: int | np.ndarray,
     *,
     arena: bool = False,
     dtype: np.dtype | type | None = None,
 ) -> BlockMatrix:
     """Split a filled matrix into the two-layer block structure.
+
+    ``bs`` is either a scalar block size (regular layout: equispaced
+    boundaries, last block possibly short) or an explicit boundary array
+    of length ``nb + 1`` running from 0 to ``n`` — the output of a
+    :class:`~repro.core.strategy.BlockingStrategy`.  Both go through the
+    same splitting arithmetic, so a boundary array with regular spacing
+    produces a bit-identical structure to the scalar form.
 
     Every stored entry of ``filled`` lands in exactly one block; blocks
     keep local CSC patterns with sorted-unique columns (inherited from the
@@ -345,7 +504,9 @@ def block_partition(
     With ``arena=True`` the payloads are laid out in one preallocated
     :class:`FactorArena` — three contiguous slabs in storage-slot order —
     and every block is a zero-copy view into them (bit-identical contents
-    to the per-block layout; only the physical backing differs).
+    to the per-block layout; only the physical backing differs).  The
+    slabs are sized from the per-block extents, so variable-width blocks
+    need no changes below this point.
 
     ``dtype`` sets the value dtype of the payloads (and the arena's data
     slab); ``None`` inherits the filled matrix's dtype.  Passing
@@ -356,31 +517,39 @@ def block_partition(
     n = filled.ncols
     if filled.nrows != n:
         raise ValueError("block partition requires a square matrix")
-    if bs <= 0:
-        raise ValueError("block size must be positive")
-    nb = -(-n // bs)
+    if np.ndim(bs) == 0:
+        bs = int(bs)
+        if bs <= 0:
+            raise ValueError("block size must be positive")
+        bounds = boundaries_from_block_size(n, bs)
+    else:
+        bounds = _validate_boundaries(n, bs)
+        bs = int(np.diff(bounds).max())
+    nb = bounds.size - 1
 
     # per (bi, bj): lists of (local col, local rows, vals, global start)
     # gathered per column; each chunk is one contiguous run of the parent
     # data array beginning at that global start
     col_chunks: dict[tuple[int, int], list] = {}
     data = filled.data
-    boundaries = np.arange(1, nb + 1) * bs
+    col_block = np.repeat(np.arange(nb, dtype=np.int64), np.diff(bounds))
+    upper = bounds[1:]
     for j in range(n):
-        bj, lc = divmod(j, bs)
+        bj = int(col_block[j])
+        lc = j - int(bounds[bj])
         sl = filled.col_slice(j)
         rows = filled.indices[sl]
         if rows.size == 0:
             continue
         vals = data[sl]
         # split the sorted rows at block boundaries
-        cut = np.searchsorted(rows, boundaries)
+        cut = np.searchsorted(rows, upper)
         start = 0
         for bi in range(nb):
             end = int(cut[bi])
             if end > start:
                 col_chunks.setdefault((bi, bj), []).append(
-                    (lc, rows[start:end] - bi * bs, vals[start:end],
+                    (lc, rows[start:end] - int(bounds[bi]), vals[start:end],
                      sl.start + start)
                 )
             start = end
@@ -389,8 +558,8 @@ def block_partition(
     # parent-data position of every entry)
     blocks_per_col: list[list[tuple]] = [[] for _ in range(nb)]
     for (bi, bj), chunks in col_chunks.items():
-        bo_r = min(bs, n - bi * bs)
-        bo_c = min(bs, n - bj * bs)
+        bo_r = int(bounds[bi + 1] - bounds[bi])
+        bo_c = int(bounds[bj + 1] - bounds[bj])
         indptr = np.zeros(bo_c + 1, dtype=np.int64)
         for lc, r, _, _ in chunks:
             indptr[lc + 1] = r.size
@@ -426,6 +595,7 @@ def block_partition(
         blk_rowidx=np.asarray(blk_rowidx_parts, dtype=np.int64),
         blk_values=[],
         dtype=dtype,
+        boundaries=bounds,
     )
     if not arena:
         out.blk_values = [

@@ -83,7 +83,7 @@ def extract_trailing(f: BlockMatrix, kb: int) -> CSCMatrix:
     complement."""
     if not 0 <= kb <= f.nb:
         raise ValueError(f"kb must be in [0, {f.nb}]")
-    offset = kb * f.bs
+    offset = int(f.boundaries[kb])
     m = f.n - offset
     rows_parts: list[np.ndarray] = []
     cols_parts: list[np.ndarray] = []
@@ -95,8 +95,8 @@ def extract_trailing(f: BlockMatrix, kb: int) -> CSCMatrix:
             if bi < kb:
                 continue
             r, c = blk.rows_cols()
-            rows_parts.append(r + bi * f.bs - offset)
-            cols_parts.append(c + bj * f.bs - offset)
+            rows_parts.append(r + f.block_start(bi) - offset)
+            cols_parts.append(c + f.block_start(bj) - offset)
             vals_parts.append(blk.data)
     if not rows_parts:
         return CSCMatrix.empty((m, m))

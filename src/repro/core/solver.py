@@ -38,9 +38,10 @@ from ..ordering import amd, colamd, mc64, nested_dissection, rcm
 from ..sparse.csc import CSCMatrix
 from ..sparse.patterns import ensure_diagonal
 from ..symbolic import SymbolicResult, symbolic_symmetric
-from .blocking import BlockMatrix, block_partition, choose_block_size
+from .blocking import BlockMatrix, block_partition
 from .dag import TaskDAG, build_dag
-from .mapping import ProcessGrid, assign_tasks, balance_loads
+from .mapping import ProcessGrid, assign_tasks, balance_loads, task_weights
+from .strategy import get_blocking_strategy
 from .numeric import FactorizeStats, NumericOptions
 from .tsolve import (
     TSolveStats,
@@ -177,9 +178,17 @@ class SolverOptions:
     use_mc64:
         Run the MC64 permutation/scaling (paper default).  Disable only
         for matrices already diagonally dominant.
+    blocking:
+        Blocking strategy for the two-layer structure: ``"regular"``
+        (uniform block size — the paper's Section 4.1 layout, default)
+        or ``"irregular"`` (structure-aware variable-width boundaries
+        guided by the fill pattern's relaxed supernodes — Hu et al.).
+        A :class:`~repro.core.strategy.BlockingStrategy` instance is
+        accepted for full control.
     block_size:
-        Regular block size; ``None`` applies the order/density heuristic
-        of :func:`repro.core.blocking.choose_block_size`.
+        Regular block size — or, for ``blocking="irregular"``, the block
+        width cap.  ``None`` applies the order/density heuristic of
+        :func:`repro.core.blocking.choose_block_size`.
     use_arena:
         Back the two-layer structure with a preallocated
         :class:`~repro.core.blocking.FactorArena` (default): one
@@ -261,6 +270,7 @@ class SolverOptions:
 
     ordering: str = "nd"
     use_mc64: bool = True
+    blocking: str = "regular"
     block_size: int | None = None
     use_arena: bool = True
     numeric: NumericOptions = field(default_factory=NumericOptions)
@@ -609,8 +619,11 @@ class Factorization:
         else:
             bs = self.blocks.bs
             plan_cache = self.blocks.plan_cache
-            self.blocks = block_partition(refreshed, bs, dtype=self.blocks.dtype)
-            # same pattern ⇒ same blocking ⇒ same storage slots: the
+            self.blocks = block_partition(
+                refreshed, self.blocks.boundaries, dtype=self.blocks.dtype
+            )
+            self.blocks.bs = bs
+            # same pattern ⇒ same boundaries ⇒ same storage slots: the
             # execution plans and the solve DAGs (which hold block indices,
             # not block references) built for the previous factorisation
             # stay valid
@@ -743,10 +756,11 @@ class PanguLU:
             self.symbolic_factorize()
         t0 = time.perf_counter()
         filled = self.symbolic.filled
-        bs = self.options.block_size or choose_block_size(filled.ncols, filled.nnz)
-        self.blocks = block_partition(
+        strategy = get_blocking_strategy(
+            self.options.blocking, block_size=self.options.block_size
+        )
+        self.blocks = strategy.partition(
             filled,
-            bs,
             arena=self.options.use_arena,
             dtype=self.options.resolved_factor_dtype(),
         )
@@ -754,7 +768,10 @@ class PanguLU:
         self.grid = ProcessGrid.square(self.options.nprocs)
         assignment = assign_tasks(self.dag, self.grid)
         if self.options.load_balance and self.grid.nprocs > 1:
-            assignment = balance_loads(self.dag, self.grid, assignment)
+            weights = task_weights(self.dag, self.blocks)
+            assignment = balance_loads(
+                self.dag, self.grid, assignment, weights=weights
+            )
         self.assignment = assignment
         self.phase_seconds["preprocess"] = time.perf_counter() - t0
         return self.blocks
@@ -968,6 +985,9 @@ class PanguLU:
             "tasks": len(self.dag),
             "block_size": self.blocks.bs,
             "block_grid": self.blocks.nb,
+            "blocking": self.options.blocking
+            if isinstance(self.options.blocking, str)
+            else self.options.blocking.name,
             "factor_bytes": rep.total_bytes,
             "predicted": {},
         }

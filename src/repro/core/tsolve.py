@@ -94,9 +94,8 @@ def block_forward(f: BlockMatrix, b: np.ndarray) -> np.ndarray:
     y = np.asarray(b, dtype=np.float64).copy()
     if y.shape[0] != f.n or y.ndim > 2:
         raise ValueError(f"rhs has shape {y.shape}, expected ({f.n},) or ({f.n}, k)")
-    bs = f.bs
     for k in range(f.nb):
-        seg = slice(k * bs, k * bs + f.block_order(k))
+        seg = f.block_slice(k)
         diag = f.block(k, k)
         assert diag is not None
         solve_lower_unit(diag, y[seg])
@@ -105,7 +104,7 @@ def block_forward(f: BlockMatrix, b: np.ndarray) -> np.ndarray:
             bi = int(bi)
             if bi <= k:
                 continue
-            tgt = slice(bi * bs, bi * bs + f.block_order(bi))
+            tgt = f.block_slice(bi)
             _block_matvec_sub(blk, y[seg], y[tgt])
     return y
 
@@ -116,9 +115,8 @@ def block_backward(f: BlockMatrix, y: np.ndarray) -> np.ndarray:
     x = np.asarray(y, dtype=np.float64).copy()
     if x.shape[0] != f.n or x.ndim > 2:
         raise ValueError(f"rhs has shape {x.shape}, expected ({f.n},) or ({f.n}, k)")
-    bs = f.bs
     for k in range(f.nb - 1, -1, -1):
-        seg = slice(k * bs, k * bs + f.block_order(k))
+        seg = f.block_slice(k)
         diag = f.block(k, k)
         assert diag is not None
         solve_upper(diag, x[seg])
@@ -128,7 +126,7 @@ def block_backward(f: BlockMatrix, y: np.ndarray) -> np.ndarray:
             bi = int(bi)
             if bi >= k:
                 continue
-            tgt = slice(bi * bs, bi * bs + f.block_order(bi))
+            tgt = f.block_slice(bi)
             _block_matvec_sub(blk, x[seg], x[tgt])
     return x
 
@@ -177,9 +175,8 @@ def block_forward_trans(f: BlockMatrix, b: np.ndarray) -> np.ndarray:
     y = np.asarray(b, dtype=np.float64).copy()
     if y.shape != (f.n,):
         raise ValueError(f"rhs has shape {y.shape}, expected ({f.n},)")
-    bs = f.bs
     for k in range(f.nb):
-        seg = slice(k * bs, k * bs + f.block_order(k))
+        seg = f.block_slice(k)
         # contributions from earlier segments through U blocks above the
         # diagonal in block column k (their transposes sit in row k of Uᵀ)
         rows, blocks = f.blocks_in_column(k)
@@ -187,7 +184,7 @@ def block_forward_trans(f: BlockMatrix, b: np.ndarray) -> np.ndarray:
             bi = int(bi)
             if bi >= k:
                 continue
-            src = slice(bi * bs, bi * bs + f.block_order(bi))
+            src = f.block_slice(bi)
             _block_matvec_t_sub(blk, y[src], y[seg])
         diag = f.block(k, k)
         assert diag is not None
@@ -201,15 +198,14 @@ def block_backward_trans(f: BlockMatrix, y: np.ndarray) -> np.ndarray:
     x = np.asarray(y, dtype=np.float64).copy()
     if x.shape != (f.n,):
         raise ValueError(f"rhs has shape {x.shape}, expected ({f.n},)")
-    bs = f.bs
     for k in range(f.nb - 1, -1, -1):
-        seg = slice(k * bs, k * bs + f.block_order(k))
+        seg = f.block_slice(k)
         rows, blocks = f.blocks_in_column(k)
         for bi, blk in zip(rows, blocks):
             bi = int(bi)
             if bi <= k:
                 continue
-            src = slice(bi * bs, bi * bs + f.block_order(bi))
+            src = f.block_slice(bi)
             _block_matvec_t_sub(blk, x[src], x[seg])
         diag = f.block(k, k)
         assert diag is not None
@@ -322,14 +318,13 @@ def execute_tsolve_task(
     The shared per-task entry point of the sequential, threaded and
     distributed solve engines (the phase-5 analogue of
     :func:`repro.core.numeric.execute_task`).  ``f`` is anything exposing
-    ``bs``/``block``/``block_order``/``block_slot`` — a
+    ``block_slice``/``block``/``block_order``/``block_slot`` — a
     :class:`BlockMatrix` or a distributed rank's local view.
     """
     kind = int(tdag.kinds[tid])
     k = int(tdag.k_of[tid])
     tgt = int(tdag.target[tid])
-    bs = f.bs
-    seg = slice(tgt * bs, tgt * bs + f.block_order(tgt))
+    seg = f.block_slice(tgt)
     if kind == TSolveTaskType.DIAG_F:
         diagf_seg(f.block(k, k), y[seg])
         x[seg] = y[seg]  # seed the backward sweep with the forward result
@@ -337,7 +332,7 @@ def execute_tsolve_task(
         diagb_seg(f.block(k, k), x[seg])
     else:
         blk = f.block(tgt, k)
-        src = slice(k * bs, k * bs + f.block_order(k))
+        src = f.block_slice(k)
         plan = resolve_spmv_plan(f, tgt, k, blk, plans)
         if kind == TSolveTaskType.UPD_F:
             updf_seg(y[seg], blk, y[src], plan)

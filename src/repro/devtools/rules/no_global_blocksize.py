@@ -1,0 +1,73 @@
+"""``no-global-blocksize`` — kernels and runtime take block dims from the
+partition, never from a scalar block size.
+
+The blocking-strategy refactor removed the uniform-``bs`` assumption from
+everything below the partition: block extents come from the structure's
+boundary array (``block_start`` / ``block_order`` / ``block_slice`` /
+``max_block_order``), so irregular variable-width partitions work through
+the same kernels, engines and transports as regular ones.  A scalar block
+size reappearing below the partition layer silently re-couples that code
+to the regular layout — segment addressing like ``k * bs`` is simply
+*wrong* for irregular boundaries, and it breaks only on the first
+irregular matrix, far from the offending line.
+
+So in kernel and runtime code this rule flags
+
+* reads of a ``.bs`` attribute (``f.bs`` — derive extents from the
+  partition instead), and
+* function parameters named ``bs`` / ``block_size`` (threading a scalar
+  block size through a signature is the same coupling one hop earlier).
+
+The partition layer itself (``core/blocking.py``, ``core/strategy.py``)
+owns the notion of a nominal block size and is outside this rule's
+scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..astlint import FileContext, Finding, Rule, register
+
+#: parameter names that smuggle a scalar block size through a signature
+_PARAM_NAMES = frozenset({"bs", "block_size"})
+
+
+@register
+class NoGlobalBlockSizeRule(Rule):
+    name = "no-global-blocksize"
+    description = (
+        "kernels/runtime take block dims from the partition "
+        "(block_start/block_order), not from a scalar block size"
+    )
+    files = (
+        "*/repro/kernels/*.py",
+        "*/repro/runtime/*.py",
+    )
+    exclude = (
+        "*/repro/devtools/*",
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and node.attr == "bs":
+                yield ctx.finding(
+                    self.name, node,
+                    "scalar `.bs` assumes a uniform block size — take "
+                    "extents from the partition (block_start/block_order/"
+                    "block_slice/max_block_order)",
+                )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in (
+                    *args.posonlyargs, *args.args, *args.kwonlyargs
+                ):
+                    if arg.arg in _PARAM_NAMES:
+                        yield ctx.finding(
+                            self.name, arg,
+                            f"parameter `{arg.arg}` threads a scalar block "
+                            "size below the partition layer — pass the "
+                            "boundary array (or the blocked structure) "
+                            "instead",
+                        )

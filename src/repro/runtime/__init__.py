@@ -23,6 +23,7 @@ _EXPORTS = {
     "kernel_time": ".costmodel",
     "best_version": ".costmodel",
     "extract_sim_tasks": ".costmodel",
+    "partition_flop_stats": ".costmodel",
     "simulated_trees": ".costmodel",
     "BYTES_PER_ENTRY": ".costmodel",
     # simulator + bridges

@@ -100,8 +100,10 @@ class _LocalView:
     bug and raises immediately.
     """
 
-    def __init__(self, nb: int, bs: int, n: int) -> None:
-        self.nb, self.bs, self.n = nb, bs, n
+    def __init__(self, boundaries: np.ndarray) -> None:
+        self.boundaries = np.asarray(boundaries, dtype=np.int64)
+        self.nb = self.boundaries.size - 1
+        self.n = int(self.boundaries[-1])
         self._blocks: dict[tuple[int, int], CSCMatrix] = {}
 
     def add(self, bi: int, bj: int, blk: CSCMatrix) -> None:
@@ -124,17 +126,23 @@ class _LocalView:
         """
         return bi * self.nb + bj
 
+    def block_start(self, b: int) -> int:
+        """First global row/column of block index ``b``."""
+        return int(self.boundaries[b])
+
     def block_order(self, b: int) -> int:
-        """Row/column count of block index ``b`` (the last may be short)."""
-        return min(self.bs, self.n - b * self.bs)
+        """Row/column count of block index ``b``."""
+        return int(self.boundaries[b + 1] - self.boundaries[b])
+
+    def block_slice(self, b: int) -> slice:
+        """Global row/column slice covered by block index ``b``."""
+        return slice(int(self.boundaries[b]), int(self.boundaries[b + 1]))
 
 
 def _worker_main(
     rank: int,
     endpoint: Endpoint,
-    nb: int,
-    bs: int,
-    n: int,
+    boundaries: np.ndarray,
     owned: list[tuple[int, int, CSCMatrix]],
     tasks: list[tuple[int, int, int, int, int, int]],
     successors: list[list[int]],
@@ -162,7 +170,7 @@ def _worker_main(
 
         checker = RaceChecker(label=f"rank {rank}")
 
-    view = _LocalView(nb, bs, n)
+    view = _LocalView(boundaries)
     owned_keys: set[tuple[int, int]] = set()
     for bi, bj, blk in owned:
         view.add(bi, bj, blk)
@@ -207,7 +215,7 @@ def _worker_main(
         # never rewritten), so aliasing them is safe; over
         # multiprocessing they are fresh arrays off the queue
         blk = CSCMatrix.from_views(
-            (min(bs, n - bi * bs), min(bs, n - bj * bs)),
+            (view.block_order(bi), view.block_order(bj)),
             indptr,
             indices,
             data,
@@ -361,7 +369,7 @@ def factorize_distributed(
 
     def args_of_rank(rank: int) -> tuple:
         return (
-            f.nb, f.bs, f.n, owned_per_rank[rank], tasks, successors,
+            f.boundaries, owned_per_rank[rank], tasks, successors,
             owner_of_task, options.pivot_floor, options.use_plans,
             options.plan_entry_limit, recorder is not None, validate,
         )
@@ -420,9 +428,7 @@ def factorize_distributed(
 def _tsolve_worker_main(
     rank: int,
     endpoint: Endpoint,
-    nb: int,
-    bs: int,
-    n: int,
+    boundaries: np.ndarray,
     owned: list[tuple[int, int, CSCMatrix]],
     dag_arrays: tuple,
     b: np.ndarray,
@@ -455,7 +461,7 @@ def _tsolve_worker_main(
 
         checker = RaceChecker(label=f"rank {rank}")
 
-    view = _LocalView(nb, bs, n)
+    view = _LocalView(boundaries)
     for bi, bj, blk in owned:
         view.add(bi, bj, blk)
 
@@ -466,7 +472,9 @@ def _tsolve_worker_main(
     y = np.array(b, dtype=np.float64)
     x = np.zeros_like(y)
     my_tasks = np.flatnonzero(owner_of_task == rank)
-    core = tsolve_core(tdag, nb, owned=my_tasks, recorder=recorder, lane=rank)
+    core = tsolve_core(
+        tdag, view.nb, owned=my_tasks, recorder=recorder, lane=rank
+    )
     if checker is not None:
         core = CheckedSchedulerCore.adopt(core, checker)
 
@@ -478,7 +486,7 @@ def _tsolve_worker_main(
     sent_bytes = 0
 
     def seg_of(tgt: int) -> slice:
-        return slice(tgt * bs, tgt * bs + min(bs, n - tgt * bs))
+        return view.block_slice(tgt)
 
     def mark_written(tid: int, tgt: int) -> None:
         if seq_y[tid] >= 0:
@@ -516,7 +524,7 @@ def _tsolve_worker_main(
                 continue
             kind = int(kinds[tid])
             tgt = int(target[tid])
-            slots = tsolve_write_slots(tdag, tid, nb)
+            slots = tsolve_write_slots(tdag, tid, view.nb)
             t0 = time.perf_counter() if recorder else 0.0
             if checker is not None:
                 for s in slots:
@@ -625,7 +633,7 @@ def tsolve_distributed(
 
     def args_of_rank(rank: int) -> tuple:
         return (
-            f.nb, f.bs, f.n, owned_per_rank[rank], dag_arrays, y0,
+            f.boundaries, owned_per_rank[rank], dag_arrays, y0,
             use_plans, recorder is not None, validate,
         )
 
@@ -662,7 +670,7 @@ def tsolve_distributed(
         if recorder is not None and rank_recorder is not None:
             recorder.merge(rank_recorder)
         for k, arr in xparts:
-            x[k * f.bs:k * f.bs + f.block_order(k)] = arr
+            x[f.block_slice(k)] = arr
             filled[k] = True
     transport.join(timeout=30)
     if errors:

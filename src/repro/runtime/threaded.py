@@ -130,7 +130,7 @@ def factorize_threaded(
 
     def worker(wid: int) -> None:
         ws = Workspace()
-        ws.presize(f.bs, dtype=getattr(f, "dtype", np.float64))
+        ws.presize(f.max_block_order, dtype=getattr(f, "dtype", np.float64))
         local = WorkerLocal()
         try:
             while True:

@@ -1,0 +1,19 @@
+"""Should-flag fixture for ``no-global-blocksize``: scalar block-size
+uses below the partition layer."""
+
+
+def forward_sweep(f, y):
+    bs = f.bs  # flagged: .bs attribute read
+    for k in range(f.nb):
+        seg = slice(k * bs, k * bs + f.block_order(k))
+        y[seg] *= 2.0
+    return y
+
+
+def run_panel(blocks, bs, out):  # flagged: `bs` parameter
+    out[:bs] = 0.0
+    return out
+
+
+def launch(view, *, block_size=64):  # flagged: `block_size` keyword param
+    return view, block_size

@@ -7,7 +7,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import block_partition, choose_block_size
+from repro.core import (
+    block_partition,
+    block_size_decision,
+    boundaries_from_block_size,
+    choose_block_size,
+)
 from repro.sparse import CSCMatrix, random_sparse
 from repro.symbolic import symbolic_symmetric
 
@@ -29,6 +34,60 @@ class TestChooseBlockSize:
         # a mid-size matrix must yield a grid with many block columns
         bs = choose_block_size(2000, 400_000)
         assert 2000 // bs >= 16
+
+
+class TestBlockSizeDecision:
+    def test_matches_choose_block_size(self):
+        for n, nnz in ((1000, 50_000), (49, 1000), (10_000, 10)):
+            d = block_size_decision(n, nnz)
+            assert d.bs == choose_block_size(n, nnz)
+
+    def test_unclamped_decision(self):
+        # n=1024, dense enough: nb=32, bs_raw=32 inside [8, 512]
+        d = block_size_decision(1024, 500_000)
+        assert not d.size_clamped
+        assert d.bs == d.bs_raw
+        assert d.nb == d.nb_grid == d.nb_sqrt == 32
+
+    def test_min_clamp_edge(self):
+        # n=49 dense: grid 7, bs_raw=7, one below the default min of 8
+        d = block_size_decision(49, 1000)
+        assert d.bs_raw == 7
+        assert d.bs == 8
+        assert d.size_clamped
+
+    def test_at_min_is_not_clamped(self):
+        # bs_raw exactly at min_bs: the clamp edge itself does not fire
+        d = block_size_decision(64, 2000)
+        assert d.bs_raw == 8
+        assert d.bs == 8
+        assert not d.size_clamped
+
+    def test_max_clamp_edge(self):
+        # huge, nearly-empty matrix: coarsening drives the grid to the
+        # floor of 4 and bs_raw far past the default max of 512
+        d = block_size_decision(10_000, 10)
+        assert d.nb == 4
+        assert d.bs_raw == 2500
+        assert d.bs == 512
+        assert d.size_clamped
+
+    def test_max_clamp_respects_override(self):
+        d = block_size_decision(10_000, 10, max_bs=4096)
+        assert d.bs == d.bs_raw == 2500
+        assert not d.size_clamped
+
+    def test_grid_clamp(self):
+        # sqrt(100_000) ≈ 316 exceeds the 128-column grid ceiling
+        d = block_size_decision(100_000, 50_000_000)
+        assert d.nb_sqrt > 128
+        assert d.nb_grid == 128
+        assert d.grid_clamped
+
+    def test_coarsening_recorded(self):
+        d = block_size_decision(4000, 10_000)
+        assert d.nb < d.nb_grid
+        assert d.avg_block_nnz == pytest.approx(10_000 / d.nb**2)
 
 
 class TestPartition:
@@ -100,6 +159,96 @@ class TestPartition:
         stats = bm.nnz_stats()
         assert stats["num_blocks"] == bm.num_blocks
         assert stats["nnz_total"] == sum(b.nnz for b in bm.blk_values)
+
+
+class TestBoundaryPartition:
+    """Partitioning from an explicit boundary array (the strategy seam)."""
+
+    def _filled(self, n=50, seed=0, density=0.08):
+        a = random_sparse(n, density, seed=seed)
+        return symbolic_symmetric(a).filled
+
+    def test_scalar_and_equispaced_boundaries_bit_identical(self):
+        f = self._filled(n=50)
+        bm_scalar = block_partition(f, 16)
+        bm_bounds = block_partition(f, boundaries_from_block_size(50, 16))
+        assert bm_scalar.bs == bm_bounds.bs == 16
+        np.testing.assert_array_equal(bm_scalar.blk_colptr, bm_bounds.blk_colptr)
+        np.testing.assert_array_equal(bm_scalar.blk_rowidx, bm_bounds.blk_rowidx)
+        for a_blk, b_blk in zip(bm_scalar.blk_values, bm_bounds.blk_values):
+            assert a_blk.shape == b_blk.shape
+            np.testing.assert_array_equal(a_blk.indptr, b_blk.indptr)
+            np.testing.assert_array_equal(a_blk.indices, b_blk.indices)
+            np.testing.assert_array_equal(a_blk.data, b_blk.data)
+
+    def test_indivisible_spacing(self):
+        # n = 50 not divisible by the 16-wide spacing: ragged last block
+        f = self._filled(n=50)
+        bm = block_partition(f, np.array([0, 16, 32, 48, 50]))
+        assert bm.nb == 4
+        assert bm.block_order(3) == 2
+        assert bm.block_start(3) == 48
+        np.testing.assert_allclose(bm.to_csc().to_dense(), f.to_dense())
+
+    def test_irregular_boundaries_roundtrip(self):
+        f = self._filled(n=60)
+        bm = block_partition(f, np.array([0, 7, 9, 30, 31, 55, 60]))
+        assert bm.nb == 6
+        assert [bm.block_order(b) for b in range(6)] == [7, 2, 21, 1, 24, 5]
+        assert bm.bs == 24  # nominal size = widest extent
+        assert not bm.is_regular
+        assert sum(b.nnz for b in bm.blk_values) == f.nnz
+        np.testing.assert_allclose(bm.to_csc().to_dense(), f.to_dense())
+
+    def test_single_column_blocks(self):
+        # every block one column wide: the scalar-LU degenerate layout
+        n = 12
+        f = self._filled(n=n, density=0.2)
+        bm = block_partition(f, np.arange(n + 1))
+        assert bm.nb == n
+        assert bm.max_block_order == 1
+        assert all(blk.shape == (1, 1) for blk in bm.blk_values)
+        np.testing.assert_allclose(bm.to_csc().to_dense(), f.to_dense())
+
+    def test_empty_trailing_block(self):
+        # trailing block column whose only entry is its diagonal — every
+        # off-diagonal block in the last block row/column is absent from
+        # layer 1 (empty blocks are never stored)
+        n = 10
+        eye_tail = np.zeros((n, n))
+        eye_tail[: n - 2, : n - 2] = random_sparse(
+            n - 2, 0.4, seed=1
+        ).to_dense()
+        np.fill_diagonal(eye_tail, np.arange(1.0, n + 1))
+        f = CSCMatrix.from_dense(eye_tail)
+        bm = block_partition(f, np.array([0, 4, 8, n]))
+        last = bm.nb - 1
+        rows, _ = bm.blocks_in_column(last)
+        assert list(rows) == [last]  # only the diagonal block is stored
+        np.testing.assert_allclose(bm.to_csc().to_dense(), eye_tail)
+
+    def test_arena_matches_per_block_on_irregular(self):
+        f = self._filled(n=60)
+        bounds = np.array([0, 7, 9, 30, 31, 55, 60])
+        bm = block_partition(f, bounds)
+        bm_arena = block_partition(f, bounds, arena=True)
+        assert bm_arena.arena is not None
+        for a_blk, b_blk in zip(bm.blk_values, bm_arena.blk_values):
+            assert a_blk.shape == b_blk.shape
+            np.testing.assert_array_equal(a_blk.indptr, b_blk.indptr)
+            np.testing.assert_array_equal(a_blk.indices, b_blk.indices)
+            np.testing.assert_array_equal(a_blk.data, b_blk.data)
+
+    def test_rejects_bad_boundaries(self):
+        f = self._filled(n=20)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            block_partition(f, np.array([0, 10, 10, 20]))
+        with pytest.raises(ValueError, match="from 0 to n"):
+            block_partition(f, np.array([0, 10, 19]))
+        with pytest.raises(ValueError, match="from 0 to n"):
+            block_partition(f, np.array([1, 10, 20]))
+        with pytest.raises(ValueError, match="length >= 2"):
+            block_partition(f, np.array([20]))
 
 
 @settings(max_examples=25, deadline=None)

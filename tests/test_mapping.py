@@ -12,6 +12,7 @@ from repro.core import (
     block_partition,
     build_dag,
     load_imbalance,
+    task_weights,
 )
 from repro.sparse import random_sparse
 from repro.symbolic import symbolic_symmetric
@@ -113,3 +114,55 @@ class TestImbalanceMetric:
         n = len(dag.tasks)
         imb = load_imbalance(dag, np.zeros(n, dtype=np.int64), 2)
         assert imb == pytest.approx(2.0)
+
+    def test_explicit_weights(self):
+        _, dag = _dag()
+        n = len(dag.tasks)
+        assignment = np.arange(n, dtype=np.int64) % 2
+        uniform = np.ones(n)
+        # with uniform weights the metric is a pure task count ratio
+        expected = 2 * max(np.bincount(assignment, minlength=2)) / n
+        assert load_imbalance(
+            dag, assignment, 2, weights=uniform
+        ) == pytest.approx(expected)
+
+
+class TestTaskWeights:
+    def test_every_task_visible(self):
+        # zero-flop tasks must still carry weight: a pure-FLOP balancer
+        # treats them as free and the imbalance metric under-reports
+        bm, dag = _dag()
+        w = task_weights(dag, bm)
+        assert w.shape == (len(dag.tasks),)
+        assert np.all(w >= 1.0)
+
+    def test_floor_is_block_traffic(self):
+        bm, dag = _dag()
+        w = task_weights(dag, bm)
+        flops = np.asarray([t.flops for t in dag.tasks], dtype=np.float64)
+        assert np.all(w >= flops)
+        for i, t in enumerate(dag.tasks):
+            blk = bm.block(t.bi, t.bj)
+            assert w[i] >= 2.0 * blk.nnz
+
+    def test_without_structure_unit_floor(self):
+        _, dag = _dag()
+        w = task_weights(dag)
+        flops = np.asarray([t.flops for t in dag.tasks], dtype=np.float64)
+        np.testing.assert_array_equal(w, np.maximum(flops, 1.0))
+
+    def test_balancer_accepts_weights(self):
+        bm, dag = _dag()
+        grid = ProcessGrid.square(4)
+        w = task_weights(dag, bm)
+        a0 = assign_tasks(dag, grid)
+        a1 = balance_loads(dag, grid, a0, weights=w)
+        before = load_imbalance(dag, a0, 4, weights=w)
+        after = load_imbalance(dag, a1, 4, weights=w)
+        assert after <= before + 1e-9
+
+    def test_weights_length_checked(self):
+        _, dag = _dag()
+        grid = ProcessGrid.square(4)
+        with pytest.raises(ValueError, match="one entry per task"):
+            balance_loads(dag, grid, weights=np.ones(3))
