@@ -1,4 +1,4 @@
-.PHONY: check lint test
+.PHONY: check lint analyze test
 
 check:
 	sh scripts/check.sh
@@ -12,6 +12,13 @@ lint:
 	else \
 		echo "ruff not installed; generic lint skipped"; \
 	fi
+
+# whole-program flow analyses (lock-order, dtype-flow, payload-escape)
+# plus the per-module rules; gates on zero findings beyond the committed
+# baseline and leaves a SARIF report for CI annotation
+analyze:
+	PYTHONPATH=src python -m repro.devtools.lint src --flow \
+		--baseline analysis-baseline.json --sarif analysis.sarif
 
 test:
 	PYTHONPATH=src python -m pytest -x -q

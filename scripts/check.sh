@@ -9,6 +9,10 @@ cd "$(dirname "$0")/.."
 echo "== repro.devtools.lint (project rules) =="
 PYTHONPATH=src python -m repro.devtools.lint src
 
+echo "== repro.devtools flow analyses (whole-program) =="
+PYTHONPATH=src python -m repro.devtools.lint src --flow \
+    --baseline analysis-baseline.json --sarif analysis.sarif
+
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff check =="
     ruff check src tests benchmarks examples

@@ -49,12 +49,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             factor_dtype=args.dtype,
             trace_events=bool(args.trace),
             validate_concurrency=bool(args.check),
+            verify_schedule=bool(args.verify),
         )
     )
     rng = np.random.default_rng(0)
     b = np.ones(a.nrows) if args.rhs == "ones" else rng.standard_normal(a.nrows)
     x = solver.solve(b)
     blocks = solver.blocks
+    if args.verify:
+        from .core.verify import verify_dag
+
+        print(verify_dag(solver.dag))
     if blocks.is_regular:
         shape = f"of {blocks.bs}"
     else:
@@ -204,6 +209,11 @@ def main(argv: list[str] | None = None) -> int:
                         "under the concurrency invariant checker "
                         "(repro.devtools.racecheck); "
                         "equivalent to setting REPRO_CHECK=1")
+    p.add_argument("--verify", action="store_true",
+                   help="statically verify every built DAG before "
+                        "execution (acyclicity, counter=indegree, "
+                        "single-writer chains, solve segment ordering) "
+                        "and print the schedule report")
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("info", help="matrix statistics")

@@ -49,6 +49,7 @@ from .tsolve import (
     block_forward_trans,
 )
 from .tsolve_dag import build_tsolve_dag
+from .verify import verify_dag
 
 __all__ = ["SolverOptions", "Factorization", "PanguLU", "RefinementStalled"]
 
@@ -266,6 +267,15 @@ class SolverOptions:
         the tasks and workers involved.  Also enabled globally by
         setting the ``REPRO_CHECK`` environment variable to a non-zero
         value.
+    verify_schedule:
+        Statically verify every built DAG (the factor DAG at
+        preprocessing, each executable solve DAG on first use) with
+        :func:`repro.core.verify.verify_dag` before any engine executes
+        it: acyclicity, counter-equals-indegree, single-writer block
+        chains, and solve-segment write ordering.  A violation raises
+        :class:`~repro.core.verify.ScheduleViolation` with a named
+        diagnostic instead of deadlocking mid-run.  Also exposed as the
+        CLI ``--verify`` flag.
     """
 
     ordering: str = "nd"
@@ -285,6 +295,7 @@ class SolverOptions:
     engine: str | None = None
     trace_events: bool = False
     validate_concurrency: bool = False
+    verify_schedule: bool = False
 
     def resolved_engine(self) -> str:
         """The engine name after applying the ``None`` default rule."""
@@ -400,6 +411,8 @@ class Factorization:
         tdag = self._tsolve_dags.get(key)
         if tdag is None:
             tdag = build_tsolve_dag(self.blocks, owner, executable=True)
+            if self.options.verify_schedule:
+                verify_dag(tdag)
             self._tsolve_dags[key] = tdag
         return tdag
 
@@ -765,6 +778,8 @@ class PanguLU:
             dtype=self.options.resolved_factor_dtype(),
         )
         self.dag = build_dag(self.blocks)
+        if self.options.verify_schedule:
+            verify_dag(self.dag)
         self.grid = ProcessGrid.square(self.options.nprocs)
         assignment = assign_tasks(self.dag, self.grid)
         if self.options.load_balance and self.grid.nprocs > 1:

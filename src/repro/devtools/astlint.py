@@ -27,8 +27,10 @@ from __future__ import annotations
 
 import ast
 import fnmatch
+import io
 import json
 import re
+import tokenize
 from collections.abc import Iterable, Sequence
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -67,6 +69,30 @@ _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\- ]+)\])?")
 _ALL = "*"
 
 
+def _iter_comments(source: str, lines: list[str]):
+    """``(lineno, text, standalone)`` for every comment, via the
+    tokenizer — so noqa text *inside a string literal* (a docstring
+    quoting the convention, say) is never mistaken for a suppression.
+    Falls back to a line scan when the source does not tokenize (the
+    lint still reports such files via its ``syntax-error`` finding)."""
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, line in enumerate(lines, start=1):
+            stripped = line.lstrip()
+            if "#" in line:
+                idx = line.index("#")
+                yield lineno, line[idx:], stripped.startswith("#")
+        return
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            lineno, col = tok.start
+            prefix = lines[lineno - 1][:col] if lineno <= len(lines) else ""
+            yield lineno, tok.string, prefix.strip() == ""
+
+
 class FileContext:
     """Everything a rule needs about the file under analysis: its path
     (posix, as given), raw source lines, and the parsed suppressions."""
@@ -78,8 +104,13 @@ class FileContext:
         # file-wide and per-line suppression sets of rule names (or _ALL)
         self.file_suppressions: set[str] = set()
         self.line_suppressions: dict[int, set[str]] = {}
-        for lineno, line in enumerate(self.lines, start=1):
-            m = _NOQA_RE.search(line)
+        #: every declared suppression, for hygiene rules:
+        #: (line, rule name or the ``*`` blanket sentinel, file-level?)
+        self.suppression_sites: list[tuple[int, str, bool]] = []
+        for lineno, comment, standalone in _iter_comments(
+            source, self.lines
+        ):
+            m = _NOQA_RE.search(comment)
             if m is None:
                 continue
             names = (
@@ -87,7 +118,9 @@ class FileContext:
                 if m.group(1)
                 else {_ALL}
             )
-            if line.lstrip().startswith("#"):
+            for name in names:
+                self.suppression_sites.append((lineno, name, standalone))
+            if standalone:
                 self.file_suppressions |= names
             else:
                 self.line_suppressions.setdefault(lineno, set()).update(names)
@@ -122,6 +155,10 @@ class Rule:
     description: str = ""
     files: tuple[str, ...] = ()
     exclude: tuple[str, ...] = ()
+    #: hygiene rules that police the suppression mechanism itself set
+    #: this False — otherwise a blanket suppression comment would
+    #: self-suppress the finding that reports it as stale
+    suppressible: bool = True
 
     def applies_to(self, path: str) -> bool:
         p = path.replace("\\", "/")
@@ -187,10 +224,11 @@ def lint_source(
     ctx = FileContext(path, source)
     if rules is None:
         rules = [r for r in all_rules().values() if r.applies_to(path)]
+    unsuppressible = {r.name for r in rules if not r.suppressible}
     findings: list[Finding] = []
     for rule in rules:
         for f in rule.check(tree, ctx):
-            if not ctx.suppressed(f.rule, f.line):
+            if f.rule in unsuppressible or not ctx.suppressed(f.rule, f.line):
                 findings.append(f)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

@@ -1,0 +1,135 @@
+"""Shared reporting for the lint rules and the flow analyses: SARIF
+output and a committed findings baseline.
+
+SARIF (Static Analysis Results Interchange Format 2.1.0) is the
+interchange format code hosts ingest; ``python -m repro.devtools.lint
+src --flow --sarif analysis.sarif`` writes one run with every rule (AST
+and flow) in the tool's rule catalogue and one result per finding.
+
+The baseline makes the analysis gate *ratchet-only*: findings recorded
+in the committed baseline file are suppressed, anything new fails the
+gate.  Fingerprints are ``(rule, path, message)`` — deliberately
+line-free, so pure line drift from unrelated edits does not resurrect a
+baselined finding, while any change to what the analysis actually says
+does.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from .astlint import Finding
+
+__all__ = [
+    "render_sarif",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+    "fingerprint",
+]
+
+_BASELINE_VERSION = 1
+
+
+def fingerprint(f: Finding) -> tuple[str, str, str]:
+    """Line-free identity of a finding, used by the baseline."""
+    return (f.rule, f.path.replace("\\", "/"), f.message)
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    rule_descriptions: dict[str, str] | None = None,
+) -> str:
+    """SARIF 2.1.0 document for one analysis run."""
+    descriptions = dict(rule_descriptions or {})
+    for f in findings:
+        descriptions.setdefault(f.rule, "")
+    rules = [
+        {
+            "id": name,
+            "shortDescription": {"text": descriptions[name] or name},
+        }
+        for name in sorted(descriptions)
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(f.line, 1),
+                            "startColumn": max(f.col, 0) + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    doc = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.devtools",
+                        "informationUri": "docs/devtools.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    """Fingerprints recorded in a baseline file (empty if absent)."""
+    p = Path(path)
+    if not p.exists():
+        return set()
+    data = json.loads(p.read_text())
+    if data.get("version") != _BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {p} has version {data.get('version')!r}, "
+            f"expected {_BASELINE_VERSION}"
+        )
+    return {
+        (entry["rule"], entry["path"], entry["message"])
+        for entry in data.get("findings", [])
+    }
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: set[tuple[str, str, str]]
+) -> list[Finding]:
+    """Findings not covered by the baseline."""
+    return [f for f in findings if fingerprint(f) not in baseline]
+
+
+def write_baseline(findings: Sequence[Finding], path: str | Path) -> None:
+    """Write (overwrite) the baseline covering ``findings``."""
+    entries = sorted(
+        {fingerprint(f) for f in findings}
+    )
+    doc = {
+        "version": _BASELINE_VERSION,
+        "findings": [
+            {"rule": rule, "path": fpath, "message": message}
+            for rule, fpath, message in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n")

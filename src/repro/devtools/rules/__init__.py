@@ -15,6 +15,7 @@ from . import (  # noqa: F401  (imported for their registration side effect)
     no_implicit_float64,
     picklable_messages,
     send_then_mutate,
+    unused_noqa,
 )
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "no_implicit_float64",
     "picklable_messages",
     "send_then_mutate",
+    "unused_noqa",
 ]

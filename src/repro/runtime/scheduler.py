@@ -247,8 +247,8 @@ class SchedulerCore:
 
     __slots__ = (
         "entries", "successors", "counters", "ready", "owned_mask",
-        "remaining", "n_owned", "executed", "max_ready_depth",
-        "recorder", "lane",
+        "remaining", "n_owned", "executed", "completed",
+        "max_ready_depth", "recorder", "lane",
     )
 
     def __init__(
@@ -280,6 +280,7 @@ class SchedulerCore:
             roots = owned[self.counters[owned] == 0]
         self.remaining = self.n_owned
         self.executed = 0
+        self.completed = np.zeros(n, dtype=bool)
         self.ready: list[tuple[int, int, int]] = [
             entries[int(t)] for t in roots
         ]
@@ -332,6 +333,7 @@ class SchedulerCore:
         if self.owned_mask is None or self.owned_mask[tid]:
             self.executed += 1
             self.remaining -= 1
+        self.completed[tid] = True
         succ = self.successors[tid]
         if self.owned_mask is not None and succ.size:
             succ = succ[self.owned_mask[succ]]
@@ -357,10 +359,38 @@ class SchedulerCore:
             self.recorder.depth(self.lane, len(self.ready))
         return newly
 
+    def blocked_frontier(self, limit: int = 8) -> list[tuple[int, int]]:
+        """``(tid, counter)`` of up to ``limit`` owned tasks that never
+        completed — the frontier a stalled run is blocked on.  Tasks with
+        counter 0 were ready but never popped (a worker died or an error
+        short-circuited the drain); positive counters are waiting on
+        predecessors that themselves never finished."""
+        if self.owned_mask is None:
+            pending = np.flatnonzero(~self.completed)
+        else:
+            pending = np.flatnonzero(self.owned_mask & ~self.completed)
+        return [
+            (int(t), int(self.counters[t])) for t in pending[:limit]
+        ]
+
     def check(self, engine: str = "scheduler") -> None:
-        """Deadlock check: every owned task must have executed."""
-        if self.executed != self.n_owned:
-            raise RuntimeError(
-                f"{engine} deadlock: executed {self.executed} of "
-                f"{self.n_owned} tasks (dependency counters inconsistent)"
-            )
+        """Deadlock check: every owned task must have executed.  The
+        error names the blocked frontier — which tasks are stuck and what
+        their dependency counters still say — instead of a bare count."""
+        if self.executed == self.n_owned:
+            return
+        frontier = self.blocked_frontier()
+        n_pending = self.n_owned - self.executed
+        detail = ", ".join(
+            f"task {tid} (counter={counter}, lane {self.lane})"
+            for tid, counter in frontier
+        )
+        more = f", … {n_pending - len(frontier)} more" if (
+            n_pending > len(frontier)
+        ) else ""
+        raise RuntimeError(
+            f"{engine} deadlock: executed {self.executed} of "
+            f"{self.n_owned} tasks; blocked frontier: {detail}{more} "
+            "(counter>0 = waiting on unfinished predecessors, "
+            "counter=0 = ready but never scheduled)"
+        )

@@ -203,6 +203,7 @@ def factorize_threaded(
     if checker is not None:
         checker.final_check(core)
     stats.max_ready_depth = core.max_ready_depth
+    core.check("threaded")  # names the blocked frontier on deadlock
     if stats.tasks_executed != n:
         raise RuntimeError(
             f"threaded deadlock: executed {stats.tasks_executed} of {n} tasks"
@@ -320,6 +321,7 @@ def tsolve_threaded(
     if checker is not None:
         checker.final_check(core)
     stats.max_ready_depth = core.max_ready_depth
+    core.check("threaded tsolve")  # names the blocked frontier on deadlock
     if stats.tasks_executed != len(tdag):
         raise RuntimeError(
             f"threaded tsolve deadlock: executed {stats.tasks_executed} "

@@ -1,0 +1,29 @@
+"""Should-flag: an implicitly-float64 array leaks into a float32 path.
+
+``driver`` allocates its scratch with ``np.zeros(n)`` — float64 by
+omission, not by decision — and hands it to ``axpy_f32``, which combines
+it with explicit float32 factor data: the whole update silently promotes
+to float64.  The syntactic ``no-implicit-float64`` rule only sees the
+allocation; the dataflow pass reports the *call site* where the implicit
+array enters the float32 kernel, plus the direct in-function mix.
+"""
+
+import numpy as np
+
+
+def axpy_f32(dst, work):
+    scale = np.zeros(4, dtype=np.float32)
+    dst[:] = work + scale  # mixes `work` with float32 data
+
+
+def driver(n):
+    scratch = np.zeros(n)  # float64 by omission
+    out = np.zeros(n, dtype=np.float32)
+    axpy_f32(out, scratch)  # implicit f64 enters the f32 path here
+    return out
+
+
+def direct_mix(n):
+    lo = np.zeros(n, dtype=np.float32)
+    hi = np.zeros(n)  # float64 by omission
+    return lo + hi  # in-function implicit mix

@@ -1,0 +1,35 @@
+"""Should-pass: the same call shapes with explicit dtypes throughout.
+
+Mixing float32 with *explicit* float64 is deliberate (iterative
+refinement does exactly that) and is not flagged; neither are
+dtype-parameterised allocations, nor implicit-float64 arrays that never
+meet float32 data.
+"""
+
+import numpy as np
+
+
+def axpy_f32(dst, work):
+    scale = np.zeros(4, dtype=np.float32)
+    dst[:] = work + scale
+
+
+def driver(n):
+    scratch = np.zeros(n, dtype=np.float32)  # stays in working precision
+    out = np.zeros(n, dtype=np.float32)
+    axpy_f32(out, scratch)
+    return out
+
+
+def refine(n):
+    # explicit f64 against f32: the deliberate mixed-precision recipe
+    residual = np.zeros(n, dtype=np.float64)
+    correction = np.zeros(n, dtype=np.float32)
+    return residual + correction
+
+
+def generic(n, dtype):
+    # dtype-parameterised: explicit, just not statically known
+    work = np.zeros(n, dtype=dtype)
+    f64_only = np.zeros(n)  # implicit, but never meets float32 data
+    return work, f64_only

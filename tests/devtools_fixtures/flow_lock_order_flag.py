@@ -1,0 +1,33 @@
+"""Should-flag: a lock-acquisition cycle that only exists across a call.
+
+``forward`` holds ``lock_a`` while calling ``helper``, which acquires
+``lock_b`` — the edge a → b exists only interprocedurally.  ``reverse``
+nests the two directly in the opposite order (b → a).  Two threads
+running ``forward`` and ``reverse`` concurrently can deadlock, each
+holding the lock the other needs.
+"""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+
+def work() -> None:
+    pass
+
+
+def helper() -> None:
+    with lock_b:
+        work()
+
+
+def forward() -> None:
+    with lock_a:
+        helper()  # acquires lock_b while lock_a is held
+
+
+def reverse() -> None:
+    with lock_b:
+        with lock_a:  # opposite order: the cycle closes here
+            work()

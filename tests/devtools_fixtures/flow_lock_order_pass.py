@@ -1,0 +1,35 @@
+"""Should-pass: every path acquires the two locks in the same order.
+
+Same shapes as the flag fixture — nested ``with`` blocks, an
+acquisition through a call, even a lock *family* acquired while another
+lock is held — but the global order (``lock_a`` before ``lock_b``) is
+consistent, so the acquisition graph is acyclic.
+"""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+slot_locks = [threading.Lock() for _ in range(4)]
+
+
+def work() -> None:
+    pass
+
+
+def helper() -> None:
+    with lock_b:
+        work()
+
+
+def forward() -> None:
+    with lock_a:
+        helper()  # a -> b, matching the direct nesting below
+
+
+def also_forward(slot: int) -> None:
+    with lock_a:
+        with lock_b:
+            work()
+        with slot_locks[slot]:  # a -> family, never family -> a
+            work()

@@ -1,0 +1,27 @@
+"""Should-flag: transport payloads aliasing live scheduler/arena state.
+
+The tuple sent to the endpoint carries ``core.counters`` (mutated by
+every ``pop``/``complete``), a factor-arena slab (overwritten in place
+by ``refactorize``), and — through one level of dataflow plus a helper's
+return expression — the module's own ``__guarded_by__``-declared state.
+The loopback transport delivers all of them by reference.
+"""
+
+__guarded_by__ = {
+    "state_lock": ("pending",),
+}
+
+pending = []
+
+
+def snapshot():
+    return pending  # returns the guarded list itself, not a copy
+
+
+def broadcast(endpoint, core, f):
+    payload = (7, core.counters, f.arena.data)
+    endpoint.send(1, payload)  # counters + arena slab escape here
+
+
+def report(endpoint):
+    endpoint.post_result(snapshot())  # guarded state escapes via the helper

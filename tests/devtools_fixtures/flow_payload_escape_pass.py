@@ -1,0 +1,30 @@
+"""Should-pass: payloads are copies or plain per-task data.
+
+Copying calls (``np.array``, ``.copy()``, ``int``, ``list``) break
+aliasing before the send; block views like ``target.indptr`` are final
+when sent under the counter protocol (that invariant is
+``send-then-mutate``'s job, from the sender's side).
+"""
+
+import numpy as np
+
+__guarded_by__ = {
+    "state_lock": ("pending",),
+}
+
+pending = []
+
+
+def broadcast(endpoint, core, f, target):
+    payload = (
+        7,
+        np.array(core.counters),   # a copy: safe to ship
+        f.arena.data.copy(),       # ditto
+        target.indptr,             # block view, final once sent
+        target.data,
+    )
+    endpoint.send(1, payload)
+
+
+def report(endpoint, core):
+    endpoint.post_result((int(core.remaining), list(pending)))

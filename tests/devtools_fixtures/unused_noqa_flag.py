@@ -1,0 +1,17 @@
+"""Should-flag: suppressions that no longer suppress anything.
+
+The line-level noqa sits on a send with no later mutation (the rule it
+names produces no finding there), the standalone comment suppresses a
+rule that never fires in this file, and the last one names a rule that
+does not exist at all.
+"""
+
+# repro: noqa[picklable-messages]
+
+
+def quiet_send(endpoint, payload):
+    endpoint.send(0, payload)  # repro: noqa[send-then-mutate]
+
+
+def typo(endpoint, payload):
+    endpoint.send(0, payload)  # repro: noqa[send-them-mutate]

@@ -1,0 +1,12 @@
+"""Should-pass: every suppression still masks a live finding.
+
+The noqa'd line really does trip ``send-then-mutate`` (the buffer is
+mutated after being sent), so the suppression is earning its keep —
+and noqa text inside this docstring is prose, not a suppression:
+``# repro: noqa[kernel-purity]`` here must not be mistaken for one.
+"""
+
+
+def send_then_patch(endpoint, buf):
+    endpoint.send(0, buf)
+    buf.fill(0.0)  # repro: noqa[send-then-mutate]

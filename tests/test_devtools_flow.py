@@ -1,0 +1,289 @@
+"""Tests of the interprocedural flow analyses (`repro.devtools.flow`)
+and the shared SARIF/baseline reporter.
+
+Each pass is exercised against a should-flag/should-pass fixture pair
+under ``tests/devtools_fixtures/`` — the flag fixture seeds exactly the
+bug class the pass exists for (a lock-order cycle closed through a
+call, a cross-call implicit-float64 leak into a float32 kernel, a
+payload aliasing scheduler/arena state).  The repo's own ``src`` tree
+must analyze clean: that regression is the ``make analyze`` gate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import lint as lint_cli
+from repro.devtools.astlint import Finding
+from repro.devtools.flow import (
+    FLOW_PASSES,
+    Project,
+    analyze_paths,
+    flow_rule_descriptions,
+)
+from repro.devtools.report import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    render_sarif,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).parent / "devtools_fixtures"
+SRC = Path(__file__).parent.parent / "src"
+
+#: pass name → fixture basename
+PASS_FIXTURES = {
+    "lock-order": "flow_lock_order",
+    "dtype-flow": "flow_dtype_flow",
+    "payload-escape": "flow_payload_escape",
+}
+
+
+def _run_pass(name: str, path: Path) -> list[Finding]:
+    return analyze_paths([path], select=[name])
+
+
+# ----------------------------------------------------------------------
+# per-pass fixtures
+# ----------------------------------------------------------------------
+
+def test_every_flow_pass_has_fixtures():
+    assert set(FLOW_PASSES) == set(PASS_FIXTURES)
+
+
+@pytest.mark.parametrize("name", sorted(PASS_FIXTURES))
+def test_pass_flags_its_fixture(name):
+    findings = _run_pass(name, FIXTURES / f"{PASS_FIXTURES[name]}_flag.py")
+    assert findings, f"{name} missed its should-flag fixture"
+    assert all(f.rule == name for f in findings)
+    assert all(f.line > 0 for f in findings)
+
+
+@pytest.mark.parametrize("name", sorted(PASS_FIXTURES))
+def test_pass_accepts_its_clean_fixture(name):
+    findings = _run_pass(name, FIXTURES / f"{PASS_FIXTURES[name]}_pass.py")
+    assert findings == [], [f.format() for f in findings]
+
+
+def test_lock_order_cycle_is_interprocedural():
+    """The flag fixture's a→b edge exists only through a call: the
+    reported cycle proves the pass propagated holds across the call
+    graph, and the message walks the cycle with its acquisition sites."""
+    findings = _run_pass(
+        "lock-order", FIXTURES / "flow_lock_order_flag.py"
+    )
+    assert len(findings) == 1
+    msg = findings[0].message
+    assert "lock_a" in msg and "lock_b" in msg
+    assert "potential deadlock" in msg
+    assert "->" in msg  # the cycle path
+    assert "flow_lock_order_flag.py:" in msg  # acquisition sites
+
+
+def test_dtype_flow_reports_the_entry_call_site():
+    findings = _run_pass(
+        "dtype-flow", FIXTURES / "flow_dtype_flow_flag.py"
+    )
+    messages = "\n".join(f.message for f in findings)
+    # the cross-call leak is reported where the implicit array enters
+    assert "driver() passes an implicitly-float64 array" in messages
+    assert "axpy_f32()" in messages
+    # and the plain in-function mix is reported too
+    assert "direct_mix() mixes float32" in messages
+
+
+def test_payload_escape_names_each_alias():
+    findings = _run_pass(
+        "payload-escape", FIXTURES / "flow_payload_escape_flag.py"
+    )
+    messages = "\n".join(f.message for f in findings)
+    assert "core.counters" in messages and "scheduler protocol state" in messages
+    assert "arena" in messages and "refactorize" in messages
+    assert "pending" in messages and "state_lock" in messages  # guarded-by
+
+
+def test_flow_findings_honour_noqa(tmp_path):
+    src = (FIXTURES / "flow_payload_escape_flag.py").read_text()
+    silenced = tmp_path / "m.py"
+    silenced.write_text("# repro: noqa[payload-escape]\n" + src)
+    assert analyze_paths([silenced], select=["payload-escape"]) == []
+
+
+def test_unknown_pass_name_raises():
+    with pytest.raises(ValueError, match="unknown flow pass"):
+        analyze_paths([FIXTURES], select=["no-such-pass"])
+
+
+# ----------------------------------------------------------------------
+# the project symbol table / call graph
+# ----------------------------------------------------------------------
+
+def test_project_symbols_and_call_resolution(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "__init__.py").write_text("")
+    (tmp_path / "pkg" / "util.py").write_text(
+        "def helper():\n    return 1\n"
+    )
+    (tmp_path / "pkg" / "main.py").write_text(
+        "from .util import helper\n"
+        "from . import util\n"
+        "class C:\n"
+        "    def m(self):\n"
+        "        return self.other()\n"
+        "    def other(self):\n"
+        "        return helper()\n"
+        "def top():\n"
+        "    return util.helper()\n"
+    )
+    project = Project.load(sorted((tmp_path / "pkg").rglob("*.py")))
+    names = {fi.qualname for fi in project.all_functions()}
+    assert "pkg.util:helper" in names
+    assert "pkg.main:C.m" in names and "pkg.main:top" in names
+
+    import ast
+
+    main = project.modules["pkg.main"]
+    # self.other() resolves to the sibling method
+    m = main.functions["C.m"]
+    call = next(
+        n for n in ast.walk(m.node) if isinstance(n, ast.Call)
+    )
+    assert project.resolve_call(call, m).qualname == "pkg.main:C.other"
+    # from-import and module-attribute calls resolve across modules
+    other = main.functions["C.other"]
+    call = next(n for n in ast.walk(other.node) if isinstance(n, ast.Call))
+    assert project.resolve_call(call, other).qualname == "pkg.util:helper"
+    top = main.functions["top"]
+    call = next(n for n in ast.walk(top.node) if isinstance(n, ast.Call))
+    assert project.resolve_call(call, top).qualname == "pkg.util:helper"
+
+
+# ----------------------------------------------------------------------
+# reporter: SARIF + baseline
+# ----------------------------------------------------------------------
+
+def _sample_findings():
+    return [
+        Finding("lock-order", "src/a.py", 10, 4, "cycle x -> y -> x"),
+        Finding("dtype-flow", "src/b.py", 3, 0, "implicit mix"),
+    ]
+
+
+def test_sarif_document_shape():
+    doc = json.loads(render_sarif(_sample_findings(), {"lock-order": "d1"}))
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro.devtools"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"lock-order", "dtype-flow"} <= rule_ids
+    assert len(run["results"]) == 2
+    first = run["results"][0]
+    assert first["ruleId"] == "lock-order"
+    loc = first["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/a.py"
+    assert loc["region"]["startLine"] == 10
+
+
+def test_baseline_roundtrip_and_ratchet(tmp_path):
+    findings = _sample_findings()
+    path = tmp_path / "baseline.json"
+    write_baseline(findings, path)
+    baseline = load_baseline(path)
+    assert {fingerprint(f) for f in findings} == baseline
+    assert apply_baseline(findings, baseline) == []
+    # line drift does not resurrect a baselined finding …
+    drifted = Finding("lock-order", "src/a.py", 99, 0, "cycle x -> y -> x")
+    assert apply_baseline([drifted], baseline) == []
+    # … but a new message is a new finding
+    new = Finding("lock-order", "src/a.py", 10, 4, "cycle x -> z -> x")
+    assert apply_baseline([new], baseline) == [new]
+
+
+def test_baseline_missing_file_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == set()
+
+
+def test_baseline_version_mismatch(tmp_path):
+    p = tmp_path / "b.json"
+    p.write_text('{"version": 99, "findings": []}')
+    with pytest.raises(ValueError, match="version"):
+        load_baseline(p)
+
+
+# ----------------------------------------------------------------------
+# the gate: the repo itself analyzes clean; CLI plumbing
+# ----------------------------------------------------------------------
+
+def test_repository_flow_analyzes_clean():
+    findings = analyze_paths([SRC])
+    assert findings == [], "\n" + "\n".join(f.format() for f in findings)
+
+
+def test_committed_baseline_is_loadable_and_current():
+    """The committed baseline matches reality: applying it to a clean
+    tree yields no findings, and it contains no stale version."""
+    baseline_path = Path(__file__).parent.parent / "analysis-baseline.json"
+    baseline = load_baseline(baseline_path)
+    findings = apply_baseline(analyze_paths([SRC]), baseline)
+    assert findings == []
+
+
+def test_cli_flow_flag(tmp_path, capsys):
+    bad = tmp_path / "m.py"
+    bad.write_text((FIXTURES / "flow_lock_order_flag.py").read_text())
+    assert lint_cli.main([str(bad), "--flow"]) == 1
+    assert "[lock-order]" in capsys.readouterr().out
+    # the same file without --flow has no per-module findings
+    assert lint_cli.main([str(bad)]) == 0
+
+
+def test_cli_flow_select(tmp_path, capsys):
+    bad = tmp_path / "m.py"
+    bad.write_text((FIXTURES / "flow_dtype_flow_flag.py").read_text())
+    assert lint_cli.main(
+        [str(bad), "--flow", "--select", "dtype-flow"]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "[dtype-flow]" in out
+
+
+def test_cli_sarif_and_baseline_workflow(tmp_path, capsys):
+    bad = tmp_path / "m.py"
+    bad.write_text((FIXTURES / "flow_payload_escape_flag.py").read_text())
+    sarif = tmp_path / "analysis.sarif"
+    baseline = tmp_path / "baseline.json"
+
+    # 1) findings fail the gate and land in the SARIF report
+    assert lint_cli.main(
+        [str(bad), "--flow", "--sarif", str(sarif)]
+    ) == 1
+    capsys.readouterr()
+    doc = json.loads(sarif.read_text())
+    assert doc["runs"][0]["results"]
+
+    # 2) writing the baseline records them and exits 0
+    assert lint_cli.main(
+        [str(bad), "--flow", "--baseline", str(baseline),
+         "--write-baseline"]
+    ) == 0
+    capsys.readouterr()
+
+    # 3) with the baseline applied the gate passes and the SARIF is empty
+    assert lint_cli.main(
+        [str(bad), "--flow", "--baseline", str(baseline),
+         "--sarif", str(sarif)]
+    ) == 0
+    capsys.readouterr()
+    assert json.loads(sarif.read_text())["runs"][0]["results"] == []
+
+
+def test_cli_list_rules_includes_flow_passes(capsys):
+    assert lint_cli.main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for name in flow_rule_descriptions():
+        assert name in out
+        assert "[flow]" in out

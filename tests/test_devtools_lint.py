@@ -35,6 +35,7 @@ RULE_FIXTURES = {
     "no-block-rebind": "no_block_rebind",
     "no-global-blocksize": "no_global_blocksize",
     "no-implicit-float64": "no_implicit_float64",
+    "unused-noqa": "unused_noqa",
 }
 
 

@@ -78,6 +78,41 @@ class TestSchedulerCore:
         with pytest.raises(RuntimeError, match="deadlock"):
             core.check("unit")
 
+    def test_check_names_the_blocked_frontier(self):
+        # chain of 3; t0 completes, t1 pops but never completes — t1 is
+        # stuck ready (counter 0) and t2 is waiting on it (counter 1)
+        core = SchedulerCore.from_dag(_chain(3), lane=4)
+        assert core.pop() == 0
+        core.complete(0)
+        assert core.pop() == 1           # popped, never completed
+        assert core.blocked_frontier() == [(1, 0), (2, 1)]
+        with pytest.raises(RuntimeError) as exc:
+            core.check("threaded")
+        msg = str(exc.value)
+        assert "threaded deadlock: executed 1 of 3 tasks" in msg
+        assert "task 1 (counter=0, lane 4)" in msg
+        assert "task 2 (counter=1, lane 4)" in msg
+        assert "counter=0 = ready but never scheduled" in msg
+
+    def test_frontier_is_capped_and_counts_overflow(self):
+        # twelve independent roots, none executed: the frontier lists
+        # the first eight and the message counts the remainder
+        dag = _StubDAG([_Stub(i, i, 0, [], 0) for i in range(12)])
+        core = SchedulerCore.from_dag(dag)
+        assert len(core.blocked_frontier()) == 8
+        assert core.blocked_frontier(limit=3) == [(0, 0), (1, 0), (2, 0)]
+        with pytest.raises(RuntimeError, match=r"… 4 more"):
+            core.check("unit")
+
+    def test_frontier_respects_ownership(self):
+        # rank owns 1 and 3 of a 4-chain; only owned pending tasks show
+        core = SchedulerCore.from_dag(_chain(4), owned=[1, 3])
+        core.complete(0)                 # remote predecessor message
+        assert core.blocked_frontier() == [(1, 0), (3, 1)]
+        assert core.pop() == 1
+        core.complete(1)
+        assert core.blocked_frontier() == [(3, 1)]
+
     def test_owned_subset_counts_only_local_work(self):
         # chain of 4; this "rank" owns tasks 1 and 3
         core = SchedulerCore.from_dag(_chain(4), owned=[1, 3])
