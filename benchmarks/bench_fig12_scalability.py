@@ -11,6 +11,11 @@ Assertions pin the paper's shape: PanguLU beats the baseline on the
 geometric mean over matrices (at the high process counts that are the
 paper's headline), wins big on the irregular circuit matrix, and scales
 with the process count on FLOP-heavy matrices.
+
+A second table exercises the *real* execution engines on the first
+bench matrix — sequential, threaded, distributed (loopback) and the
+hybrid ranks×threads engine — as wall-clock rows, asserting the hybrid
+factor matches the sequential one.
 """
 
 from __future__ import annotations
@@ -95,4 +100,57 @@ def test_fig12_scalability(benchmark):
     pgs, _ = results[("A100", heavy)]
     assert max(pgs) > 1.5 * pgs[0], (
         f"{heavy} failed to scale: {pgs}"
+    )
+
+
+def test_fig12_hybrid_engine_row(benchmark):
+    """Real-execution engine rows, including the hybrid ranks×threads
+    engine: every engine factorises the same analogue, the hybrid
+    factor must match the sequential one to 1e-10."""
+    import time
+
+    from common import matrix
+    from repro import PanguLU, SolverOptions
+    from repro.core import factorize
+    from repro.runtime import factorize_distributed
+    from repro.runtime.transports import LoopbackTransport
+
+    name = bench_matrices()[0]
+    banner(f"Fig. 12 addendum — real engine wall-clock on {name}")
+
+    def fresh():
+        solver = PanguLU(matrix(name), SolverOptions())
+        solver.preprocess()
+        return solver.blocks, solver.dag
+
+    rows = []
+    reference = None
+
+    def timed(label, runner):
+        nonlocal reference
+        blocks, dag = fresh()
+        t0 = time.perf_counter()
+        runner(blocks, dag)
+        rows.append([label, (time.perf_counter() - t0) * 1e3])
+        dense = blocks.to_csc().to_dense()
+        if reference is None:
+            reference = dense
+        else:
+            assert np.allclose(dense, reference, atol=1e-10), label
+
+    timed("sequential", lambda blocks, dag: factorize(blocks, dag))
+    timed("distributed p=2", lambda blocks, dag: factorize_distributed(
+        blocks, dag, 2, transport=LoopbackTransport()))
+    timed("hybrid p=2 t=2", lambda blocks, dag: factorize_distributed(
+        blocks, dag, 2, transport=LoopbackTransport(), n_threads=2))
+    timed("hybrid p=2 t=4", lambda blocks, dag: factorize_distributed(
+        blocks, dag, 2, transport=LoopbackTransport(), n_threads=4))
+    print(format_table(["engine", "factorize (ms)"], rows, float_fmt="{:.2f}"))
+
+    benchmark.pedantic(
+        lambda: factorize_distributed(
+            *fresh(), 2, transport=LoopbackTransport(), n_threads=2
+        ),
+        rounds=1,
+        iterations=1,
     )

@@ -6,8 +6,10 @@ plus the planned execution path on three canonical block densities —
 ``sparse`` (bin-search regime), ``medium`` (crossover), ``filled``
 (post-fill blocks where the dense-mapped variants win) — plus a
 ``tsolve`` row (phase-5 triangular solves through the engine path,
-sequential vs threaded, single and 16-RHS panels) — and writes the
-results to ``BENCH_kernels.json`` at the repo root.
+sequential vs threaded, single and 16-RHS panels) and a ``placement``
+row (cyclic vs cost-model block ownership on a 2-fast/2-slow simulated
+platform) — and writes the results to ``BENCH_kernels.json`` at the
+repo root.
 
 The JSON is checked in as a coarse performance trajectory for the
 repo: absolute numbers are machine-dependent, but the *ratios* between
@@ -263,6 +265,47 @@ def bench_blocking() -> dict:
     return out
 
 
+def bench_placement() -> dict:
+    """Cyclic vs cost-model placement on a 2-fast/2-slow simulated
+    platform (2.5× speed skew): simulated numeric-phase makespan and
+    the speed-scaled load imbalance.  The cost-model map must win on
+    both — the heterogeneous-mapping claim the placement layer exists
+    for (Tzovas et al.)."""
+    import dataclasses
+
+    from repro.core import block_partition, build_dag, load_imbalance, task_weights
+    from repro.core.placement import resolve_placement
+    from repro.runtime import CPU_PLATFORM, simulate_pangulu
+
+    n = max(150, int(750 * SCALE))
+    speeds = (1.0, 1.0, 0.4, 0.4)
+    a = random_sparse(n, 0.02, seed=19)
+    blocks = block_partition(symbolic_symmetric(a).filled, max(16, n // 10))
+    dag = build_dag(blocks)
+    hetero = dataclasses.replace(CPU_PLATFORM, rank_speeds=speeds)
+    weights = task_weights(dag, blocks)
+    out: dict = {
+        "n": n,
+        "nprocs": len(speeds),
+        "rank_speeds": list(speeds),
+        "tasks": len(dag.tasks),
+    }
+    for name in ("cyclic", "cost"):
+        sim = simulate_pangulu(blocks, dag, hetero, len(speeds), placement=name)
+        place = resolve_placement(name, len(speeds), speeds=speeds)
+        static = place.prepare(dag, blocks).assign(dag)
+        out[name] = {
+            "makespan_ms": sim.result.makespan * 1e3,
+            "gflops": sim.gflops,
+            "imbalance": load_imbalance(
+                dag, static, len(speeds), weights=weights, speeds=speeds
+            ),
+        }
+    assert out["cost"]["makespan_ms"] < out["cyclic"]["makespan_ms"]
+    assert out["cost"]["imbalance"] < out["cyclic"]["imbalance"]
+    return out
+
+
 def main() -> None:
     results = {
         regime: bench_regime(regime, density)
@@ -272,6 +315,7 @@ def main() -> None:
     arena = bench_arena()
     precision = bench_precision()
     blocking = bench_blocking()
+    placement = bench_placement()
     doc = {
         "schema": "repro-bench-kernels/1",
         "units": "milliseconds (best of %d)" % REPEATS,
@@ -283,6 +327,7 @@ def main() -> None:
         "arena": arena,
         "precision": precision,
         "blocking": blocking,
+        "placement": placement,
     }
     out_path = REPO_ROOT / "BENCH_kernels.json"
     out_path.write_text(json.dumps(doc, indent=2) + "\n")
@@ -327,6 +372,14 @@ def main() -> None:
               f"pad ratio {row['padding_ratio']:.2f}  "
               f"imbalance {row['imbalance']:.3f}  "
               f"factorize {row['factorize_ms']:8.3f} ms")
+    print(f"\nPLACEMENT cyclic vs cost (n={placement['n']}, "
+          f"{placement['nprocs']} ranks at speeds "
+          f"{placement['rank_speeds']}):")
+    for label in ("cyclic", "cost"):
+        row = placement[label]
+        print(f"  {label:<7}  makespan {row['makespan_ms']:8.3f} ms  "
+              f"{row['gflops']:8.3f} GFLOP/s  "
+              f"imbalance {row['imbalance']:.3f}")
     print(f"\nwrote {out_path}")
 
 

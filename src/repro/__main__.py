@@ -39,13 +39,20 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if a.nrows != a.ncols:
         print("error: need a square matrix", file=sys.stderr)
         return 2
+    if args.engine == "distributed":
+        nprocs = args.ranks or max(1, args.workers)
+    elif args.engine == "hybrid":
+        nprocs = args.ranks or 2
+    else:
+        nprocs = 1
     solver = PanguLU(
         a, SolverOptions(
             ordering=args.ordering,
             blocking=args.blocking,
             n_workers=args.workers,
-            nprocs=max(1, args.workers) if args.engine == "distributed" else 1,
+            nprocs=nprocs,
             engine=args.engine,
+            placement=args.placement,
             factor_dtype=args.dtype,
             trace_events=bool(args.trace),
             validate_concurrency=bool(args.check),
@@ -194,14 +201,28 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--scale", type=float, default=0.3, help="analogue size knob")
     p.add_argument("--output", help="write the solution vector to this file")
     p.add_argument("--workers", type=int, default=1,
-                   help="worker threads (threaded engine) or ranks "
-                        "(distributed engine) for the numeric phase and "
+                   help="worker threads (threaded engine), ranks "
+                        "(distributed engine), or threads per rank "
+                        "(hybrid engine) for the numeric phase and "
                         "the triangular solves")
+    p.add_argument("--ranks", type=int, default=None,
+                   help="process-rank count for the distributed and "
+                        "hybrid engines (default: --workers for "
+                        "distributed, 2 for hybrid)")
     p.add_argument("--engine", default=None,
-                   choices=["sequential", "threaded", "distributed"],
+                   choices=["sequential", "threaded", "distributed",
+                            "hybrid"],
                    help="execution engine for the numeric phase AND the "
                         "triangular solves (default: threaded when "
-                        "--workers > 1, else sequential)")
+                        "--workers > 1, else sequential); hybrid runs "
+                        "--ranks processes each driving --workers "
+                        "threads over one shared scheduler")
+    p.add_argument("--placement", default="cyclic",
+                   choices=["cyclic", "cost"],
+                   help="block-to-rank placement policy for the "
+                        "distributed/hybrid engines: the paper's 2D "
+                        "block-cyclic map, or the cost-model placement "
+                        "that greedily packs speed-scaled block loads")
     p.add_argument("--trace", help="write a chrome://tracing JSON of the real "
                                    "numeric + solve run to this path")
     p.add_argument("--check", action="store_true",

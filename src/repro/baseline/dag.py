@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.mapping import ProcessGrid
+from ..core.placement import CyclicPlacement
 from ..runtime.machine import Platform
 from ..runtime.simulator import SimResult, SimSpec, simulate
 from .supernodal import SupernodalMatrix
@@ -222,9 +222,9 @@ def simulate_superlu(
     if dag is None:
         dag = build_sn_dag(m, part)
     durations = price_sn_tasks(dag, platform)
-    grid = ProcessGrid.square(nprocs)
+    place = CyclicPlacement(nprocs)
     owner = np.asarray(
-        [grid.owner(int(i), int(j)) for i, j in zip(dag.bi, dag.bj)],
+        [place.owner(int(i), int(j)) for i, j in zip(dag.bi, dag.bj)],
         dtype=np.int64,
     )
     priority = dag.k_of * 8 + dag.kinds

@@ -1,7 +1,7 @@
 """PanguLU core: 2D blocking (regular or structure-aware irregular),
-block-cyclic mapping with static load balancing, the task DAG, the
-numeric driver, block triangular solves and the five-phase solver
-facade."""
+pluggable block→rank placement (cyclic or cost-model) with static load
+balancing, the task DAG, the numeric driver, block triangular solves and
+the five-phase solver facade."""
 
 from .blocking import (
     BlockMatrix,
@@ -19,6 +19,14 @@ from .mapping import (
     balance_loads,
     load_imbalance,
     task_weights,
+)
+from .placement import (
+    CostModelPlacement,
+    CyclicPlacement,
+    PlacementPolicy,
+    available_placements,
+    get_placement,
+    resolve_placement,
 )
 from .strategy import (
     BlockingStrategy,
@@ -71,6 +79,12 @@ __all__ = [
     "assign_tasks",
     "balance_loads",
     "load_imbalance",
+    "PlacementPolicy",
+    "CyclicPlacement",
+    "CostModelPlacement",
+    "available_placements",
+    "get_placement",
+    "resolve_placement",
     "NumericOptions",
     "FactorizeStats",
     "factorize",

@@ -13,6 +13,7 @@ GESSM hops from the overloaded process to the underloaded one.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -50,10 +51,23 @@ class ProcessGrid:
 
     @classmethod
     def square(cls, nprocs: int) -> "ProcessGrid":
-        """Most-square factorisation ``P × Q = nprocs`` with ``P ≤ Q``."""
+        """Most-square factorisation ``P × Q = nprocs`` with ``P ≤ Q``.
+
+        ``P`` is the **largest divisor of** ``nprocs`` **not exceeding**
+        ``√nprocs`` (so ``Q − P`` is minimal among exact
+        factorisations): perfect squares give ``√n × √n``, 12 gives
+        ``3 × 4``, and a prime count degenerates to the ``1 × n`` row —
+        there is no padding, every ``nprocs`` is covered exactly.  The
+        square root is taken with :func:`math.isqrt`: a float root can
+        land *below* the true integer root for large perfect squares,
+        which would silently skip the square factorisation.  Zero and
+        negative counts are rejected.
+        """
         if nprocs <= 0:
-            raise ValueError("process count must be positive")
-        p = int(np.sqrt(nprocs))
+            raise ValueError(
+                f"process count must be positive, got {nprocs}"
+            )
+        p = math.isqrt(int(nprocs))
         while nprocs % p:
             p -= 1
         return cls(p, nprocs // p)
@@ -63,9 +77,17 @@ class ProcessGrid:
         return (bi % self.p) * self.q + (bj % self.q)
 
 
-def assign_tasks(dag: TaskDAG, grid: ProcessGrid) -> np.ndarray:
+def assign_tasks(dag: TaskDAG, grid) -> np.ndarray:
     """Default task→process assignment: each task runs on the owner of its
-    target block."""
+    target block.
+
+    ``grid`` may be a :class:`ProcessGrid` (the block-cyclic rule) or any
+    :class:`repro.core.placement.PlacementPolicy` — the policy's
+    :meth:`~repro.core.placement.PlacementPolicy.assign` is the general
+    form and this function is its grid-shaped convenience wrapper.
+    """
+    if hasattr(grid, "assign"):
+        return grid.assign(dag)
     return np.asarray(
         [grid.owner(t.bi, t.bj) for t in dag.tasks], dtype=np.int64
     )
@@ -94,13 +116,27 @@ def task_weights(dag: TaskDAG, f=None) -> np.ndarray:
     return np.maximum(w, np.maximum(floor, 1.0))
 
 
+def _check_rank_speeds(speeds, nprocs: int) -> np.ndarray | None:
+    """Validated per-rank speed factors as a float array (``None``
+    passes through — homogeneous ranks)."""
+    if speeds is None:
+        return None
+    out = np.asarray(speeds, dtype=np.float64)
+    if out.shape != (nprocs,):
+        raise ValueError(f"got {out.size} rank speeds for {nprocs} ranks")
+    if np.any(out <= 0.0):
+        raise ValueError("rank speeds must be positive")
+    return out
+
+
 def balance_loads(
     dag: TaskDAG,
-    grid: ProcessGrid,
+    grid,
     assignment: np.ndarray | None = None,
     *,
     max_rounds: int = 1,
     weights: np.ndarray | None = None,
+    speeds=None,
 ) -> np.ndarray:
     """Static time-slice load balancing.
 
@@ -111,9 +147,15 @@ def balance_loads(
     spread.  Runs in preprocessing — the "small time overhead compared to
     numeric factorisation" the paper notes.
 
-    ``weights`` overrides the per-task weights (see :func:`task_weights`
-    for the flop-with-traffic-floor weighting the solver passes); the
-    default is the raw structural FLOP count.
+    ``grid`` is a :class:`ProcessGrid` or a
+    :class:`repro.core.placement.PlacementPolicy` (both carry ``nprocs``
+    and a default assignment).  ``weights`` overrides the per-task
+    weights (see :func:`task_weights` for the flop-with-traffic-floor
+    weighting the solver passes); the default is the raw structural FLOP
+    count.  ``speeds`` supplies per-rank speed factors for heterogeneous
+    machines: loads are then compared in *time* (weight ÷ speed of the
+    executing rank), so a fast rank absorbs proportionally more work;
+    ``None`` keeps the homogeneous behaviour bit-identical.
     """
     nprocs = grid.nprocs
     if assignment is None:
@@ -128,6 +170,10 @@ def balance_loads(
         flops = np.asarray(weights, dtype=np.float64)
         if flops.shape != (len(dag.tasks),):
             raise ValueError("weights must have one entry per task")
+    speed = _check_rank_speeds(speeds, nprocs)
+    # 1/speed per rank; exact ones when homogeneous, so every product
+    # below is bit-identical to the historical speed-free arithmetic
+    inv = np.ones(nprocs, dtype=np.float64) if speed is None else 1.0 / speed
     slices = np.asarray([t.k for t in dag.tasks], dtype=np.int64)
     nslices = int(slices.max()) + 1 if len(dag.tasks) else 0
 
@@ -139,7 +185,10 @@ def balance_loads(
             if in_slice.size == 0:
                 continue
             slice_w = np.zeros(nprocs, dtype=np.float64)
-            np.add.at(slice_w, assignment[in_slice], flops[in_slice])
+            np.add.at(
+                slice_w, assignment[in_slice],
+                flops[in_slice] * inv[assignment[in_slice]],
+            )
             # migrate the heaviest movable tasks from the most loaded to
             # the least loaded process while that closes the gap ("tasks
             # with high weights are migrated to less loaded processes")
@@ -154,15 +203,16 @@ def balance_loads(
                 if cand.size == 0:
                     break
                 # the best single migration halves the gap at most; pick
-                # the heaviest task not exceeding the gap
-                w = flops[cand]
+                # the heaviest task whose cost *on the light rank* does
+                # not exceed the gap
+                w = flops[cand] * inv[light]
                 movable = cand[w <= gap]
                 if movable.size == 0:
                     break
                 t = int(movable[int(np.argmax(flops[movable]))])
                 assignment[t] = light
-                slice_w[heavy] -= flops[t]
-                slice_w[light] += flops[t]
+                slice_w[heavy] -= flops[t] * inv[heavy]
+                slice_w[light] += flops[t] * inv[light]
                 changed = True
             cumulative += slice_w
         if not changed:
@@ -176,12 +226,15 @@ def load_imbalance(
     nprocs: int,
     *,
     weights: np.ndarray | None = None,
+    speeds=None,
 ) -> float:
     """Imbalance metric ``max(load) / mean(load)`` (1.0 = perfect).
 
     ``weights`` overrides the per-task weights (default: structural
     FLOPs; see :func:`task_weights`), and must match what the balancer
-    optimised for the metric to be meaningful.
+    optimised for the metric to be meaningful.  With ``speeds`` the
+    loads are speed-scaled times (weight ÷ executing rank's speed), the
+    quantity a heterogeneous placement minimises.
     """
     loads = np.zeros(nprocs, dtype=np.float64)
     if weights is None:
@@ -189,5 +242,8 @@ def load_imbalance(
     else:
         flops = np.asarray(weights, dtype=np.float64)
     np.add.at(loads, assignment, flops)
+    speed = _check_rank_speeds(speeds, nprocs)
+    if speed is not None:
+        loads /= speed
     mean = loads.mean()
     return float(loads.max() / mean) if mean > 0 else 1.0

@@ -26,7 +26,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from .blocking import BlockMatrix
-from .mapping import ProcessGrid
 
 __all__ = ["MemoryReport", "memory_report", "per_process_bytes"]
 
@@ -130,18 +129,23 @@ def memory_report(f: BlockMatrix) -> MemoryReport:
     )
 
 
-def per_process_bytes(f: BlockMatrix, grid: ProcessGrid) -> np.ndarray:
-    """Bytes of block storage owned by each process under block-cyclic
-    mapping — the quantity that must fit in one device's memory.
+def per_process_bytes(f: BlockMatrix, grid) -> np.ndarray:
+    """Bytes of block storage owned by each process — the quantity that
+    must fit in one device's memory.
 
-    Ownership is the storage layout (pure block-cyclic); the load
-    balancer migrates *tasks*, never block storage.  Counts are exact
-    (``nbytes`` of the per-block arrays at their real dtypes).
+    ``grid`` is a :class:`ProcessGrid` (block-cyclic ownership) or any
+    :class:`repro.core.placement.PlacementPolicy`.  Ownership is the
+    storage layout; the load balancer migrates *tasks*, never block
+    storage.  Counts are exact (``nbytes`` of the per-block arrays at
+    their real dtypes).
     """
-    out = np.zeros(grid.nprocs, dtype=np.int64)
+    from .placement import CyclicPlacement, PlacementPolicy
+
+    place = grid if isinstance(grid, PlacementPolicy) else CyclicPlacement(grid)
+    out = np.zeros(place.nprocs, dtype=np.int64)
     for bj in range(f.nb):
         rows, blocks = f.blocks_in_column(bj)
         for bi, blk in zip(rows, blocks):
-            owner = grid.owner(int(bi), bj)
+            owner = place.owner(int(bi), bj)
             out[owner] += blk.value_nbytes + blk.index_nbytes
     return out

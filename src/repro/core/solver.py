@@ -40,7 +40,8 @@ from ..sparse.patterns import ensure_diagonal
 from ..symbolic import SymbolicResult, symbolic_symmetric
 from .blocking import BlockMatrix, block_partition
 from .dag import TaskDAG, build_dag
-from .mapping import ProcessGrid, assign_tasks, balance_loads, task_weights
+from .mapping import ProcessGrid, balance_loads, task_weights
+from .placement import PlacementPolicy, resolve_placement
 from .strategy import get_blocking_strategy
 from .numeric import FactorizeStats, NumericOptions
 from .tsolve import (
@@ -206,21 +207,36 @@ class SolverOptions:
         Kernel selection and pivoting options for the numeric phase.
     nprocs:
         Logical process count for the mapping and for the
-        ``"distributed"`` engine's rank count.
+        ``"distributed"``/``"hybrid"`` engines' rank count.
+    placement:
+        Block→rank ownership policy: ``"cyclic"`` (the paper's regular
+        2D block-cyclic grid, default), ``"cost"`` (cost-model-driven
+        heterogeneous placement honouring ``rank_speeds``), or a
+        prebuilt :class:`~repro.core.placement.PlacementPolicy`
+        instance.  The policy decides which rank owns (and therefore
+        factors) every block, for the mapping, the distributed/hybrid
+        engines and the solve DAGs alike.
+    rank_speeds:
+        Per-rank relative speed factors (length ``nprocs``) describing a
+        heterogeneous machine; consumed by the ``"cost"`` placement and
+        the speed-aware load balancer.  ``None`` means homogeneous.
     load_balance:
         Apply the static time-slice balancing to the task assignment.
     engine:
         Execution engine for the numeric phase **and** for the triangular
         solves of phase 5, resolved through the registries in
         :mod:`repro.runtime.engines`: ``"sequential"``, ``"threaded"``
-        (``n_workers`` threads) or ``"distributed"`` (``nprocs`` ranks
-        over a message transport).  ``None`` (default) picks
-        ``"threaded"`` when ``n_workers > 1``, else ``"sequential"``.
-        All engines produce bit-identical solutions — the solve DAG
-        totally orders the writers of every RHS segment.
+        (``n_workers`` threads), ``"distributed"`` (``nprocs`` ranks
+        over a message transport) or ``"hybrid"`` (``nprocs`` ranks ×
+        ``n_workers`` threads per rank — HYLU-style mixed parallelism).
+        ``None`` (default) picks ``"threaded"`` when ``n_workers > 1``,
+        else ``"sequential"``.  All engines produce bit-identical
+        solutions — the solve DAG totally orders the writers of every
+        RHS segment.
     n_workers:
         Worker threads for the ``"threaded"`` engine
-        (:func:`repro.runtime.factorize_threaded`).
+        (:func:`repro.runtime.factorize_threaded`), and threads *per
+        rank* for the ``"hybrid"`` engine.
     trace_events:
         Record structured scheduler events (task start/end, message
         send/recv, ready-queue depth) during the numeric phase and the
@@ -285,6 +301,8 @@ class SolverOptions:
     use_arena: bool = True
     numeric: NumericOptions = field(default_factory=NumericOptions)
     nprocs: int = 1
+    placement: str | PlacementPolicy = "cyclic"
+    rank_speeds: tuple[float, ...] | None = None
     load_balance: bool = True
     refine_steps: int = 2
     factor_dtype: str = "float64"
@@ -365,6 +383,7 @@ class Factorization:
         blocks: BlockMatrix,
         dag: TaskDAG,
         stats: FactorizeStats,
+        placement: PlacementPolicy | None = None,
     ) -> None:
         self.a = a
         self.options = options
@@ -382,9 +401,10 @@ class Factorization:
         self.total_solve_seconds = 0.0
         self.refactorize_seconds = 0.0
         self.last_tsolve_stats: TSolveStats | None = None
+        self.placement = placement
         # executable solve DAGs, keyed by engine placement (the local
-        # engines share one single-owner DAG; distributed needs the
-        # block-cyclic owner rule of its rank count)
+        # engines share one single-owner DAG; distributed/hybrid need
+        # the ownership map of their rank count)
         self._tsolve_dags: dict = {}
 
     @property
@@ -394,14 +414,33 @@ class Factorization:
     # ------------------------------------------------------------------
     # engine dispatch
     # ------------------------------------------------------------------
+    def _engine_placement(self) -> PlacementPolicy | None:
+        """The fitted placement policy for a multi-rank engine run, or
+        ``None`` for the local engines (which own everything).
+
+        Reuses the policy fitted at preprocessing when its rank count
+        matches ``options.nprocs``; otherwise resolves and fits a fresh
+        one (e.g. the options changed after factorisation) and caches it
+        on the handle.
+        """
+        if self.options.resolved_engine() not in ("distributed", "hybrid"):
+            return None
+        nprocs = max(1, self.options.nprocs)
+        if self.placement is None or self.placement.nprocs != nprocs:
+            self.placement = resolve_placement(
+                self.options.placement, nprocs,
+                speeds=self.options.rank_speeds,
+            ).prepare(self.dag, self.blocks)
+        return self.placement
+
     def _tsolve_dag(self):
         """The executable solve DAG for the current engine (cached —
         patterns are immutable post-symbolic, so it survives repeated
         solves and refactorisations)."""
-        if self.options.resolved_engine() == "distributed":
-            nprocs = max(1, self.options.nprocs)
-            key = ("distributed", nprocs)
-            owner = ProcessGrid.square(nprocs).owner
+        placement = self._engine_placement()
+        if placement is not None:
+            key = (placement.name, placement.nprocs)
+            owner = placement.owner
         else:
             key = ("local", 1)
 
@@ -429,7 +468,7 @@ class Factorization:
         engine = get_tsolve_engine(self.options.resolved_engine())
         z_hat, tstats = engine(
             self.blocks, self._tsolve_dag(), c_hat, self.options,
-            recorder=recorder,
+            recorder=recorder, placement=self._engine_placement(),
         )
         self.last_tsolve_stats = tstats
         z = np.empty_like(z_hat)
@@ -642,7 +681,10 @@ class Factorization:
             # stay valid
             self.blocks.plan_cache = plan_cache
         engine = get_engine(self.options.resolved_engine())
-        self.stats = engine(self.blocks, self.dag, self.options)
+        self.stats = engine(
+            self.blocks, self.dag, self.options,
+            placement=self._engine_placement(),
+        )
         self.refactorize_seconds = time.perf_counter() - t0
         return self.stats
 
@@ -695,6 +737,7 @@ class PanguLU:
         self.blocks: BlockMatrix | None = None
         self.dag: TaskDAG | None = None
         self.grid: ProcessGrid | None = None
+        self.placement: PlacementPolicy | None = None
         self.assignment: np.ndarray | None = None
         self.numeric_stats: FactorizeStats | None = None
         self.recorder = None  # EventRecorder of the last factorize, if traced
@@ -778,14 +821,22 @@ class PanguLU:
             dtype=self.options.resolved_factor_dtype(),
         )
         self.dag = build_dag(self.blocks)
-        if self.options.verify_schedule:
-            verify_dag(self.dag)
         self.grid = ProcessGrid.square(self.options.nprocs)
-        assignment = assign_tasks(self.dag, self.grid)
-        if self.options.load_balance and self.grid.nprocs > 1:
+        placement = resolve_placement(
+            self.options.placement, self.options.nprocs,
+            speeds=self.options.rank_speeds,
+        ).prepare(self.dag, self.blocks)
+        self.placement = placement
+        assignment = placement.assign(self.dag)
+        if self.options.verify_schedule:
+            verify_dag(
+                self.dag, assignment=assignment, nprocs=placement.nprocs
+            )
+        if self.options.load_balance and placement.nprocs > 1:
             weights = task_weights(self.dag, self.blocks)
             assignment = balance_loads(
-                self.dag, self.grid, assignment, weights=weights
+                self.dag, placement, assignment,
+                weights=weights, speeds=placement.speeds,
             )
         self.assignment = assignment
         self.phase_seconds["preprocess"] = time.perf_counter() - t0
@@ -818,7 +869,8 @@ class PanguLU:
         engine = get_engine(self.options.resolved_engine())
         self.recorder = EventRecorder() if self.options.trace_events else None
         self.numeric_stats = engine(
-            self.blocks, self.dag, self.options, recorder=self.recorder
+            self.blocks, self.dag, self.options, recorder=self.recorder,
+            placement=self.placement,
         )
         self.phase_seconds["numeric"] = time.perf_counter() - t0
         self._factorized = True
@@ -832,6 +884,7 @@ class PanguLU:
             row_perm=self.row_perm, col_perm=self.col_perm,
             symbolic=self.symbolic, reordered=self._reordered,
             blocks=self.blocks, dag=self.dag, stats=self.numeric_stats,
+            placement=self.placement,
         )
 
     @property

@@ -20,7 +20,13 @@ them *before* a single kernel runs:
   RHS segment carry contiguous ``seq_y``/``seq_x`` positions
   (``segment-order``) and consecutive writers are joined by a direct
   edge (``unchained-writer``), with ``DIAG_F`` seeding the backward
-  segment before any ``UPD_B`` lands on it.
+  segment before any ``UPD_B`` lands on it;
+* **ownership consistency** — when a task→rank ``assignment`` is passed
+  alongside a factor DAG, every task targeting one block must run on a
+  single rank (the message protocol never writes a remote block) and
+  each rank id must be in range (``split-ownership``).  The check is
+  placement-agnostic: *any* single-writer-consistent ownership map
+  passes — block-cyclic, cost-model, or hand-rolled.
 
 :func:`verify_dag` accepts either DAG flavour (duck-typed on
 ``panel_of_block`` vs ``kinds``), raises :class:`ScheduleViolation` —
@@ -45,8 +51,8 @@ class ScheduleViolation(ValueError):
 
     ``code`` is a stable machine-readable diagnostic name (``bad-edge``,
     ``counter-mismatch``, ``cycle``, ``double-writer``,
-    ``unchained-writer``, ``segment-order``); the message names the
-    offending tasks.
+    ``unchained-writer``, ``segment-order``, ``split-ownership``); the
+    message names the offending tasks.
     """
 
     def __init__(self, code: str, message: str) -> None:
@@ -249,15 +255,63 @@ def _check_tsolve_chains(dag) -> None:
                     )
 
 
-def verify_dag(dag) -> ScheduleReport:
+def _check_ownership(dag, assignment: np.ndarray, nprocs: int | None) -> None:
+    """Single-writer ownership: tasks sharing a target block share a
+    rank, rank ids are in range.  Placement-agnostic — any consistent
+    map (cyclic, cost-model, custom) passes."""
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.shape != (len(dag.tasks),):
+        raise ScheduleViolation(
+            "split-ownership",
+            f"assignment has {assignment.size} entries for "
+            f"{len(dag.tasks)} tasks",
+        )
+    if assignment.size and (
+        int(assignment.min()) < 0
+        or (nprocs is not None and int(assignment.max()) >= nprocs)
+    ):
+        bad = int(np.flatnonzero(
+            (assignment < 0)
+            | (assignment >= (nprocs if nprocs is not None else np.inf))
+        )[0])
+        raise ScheduleViolation(
+            "split-ownership",
+            f"task {bad} is assigned to rank {int(assignment[bad])}, "
+            f"outside the valid range [0, {nprocs})",
+        )
+    owner_of_block: dict[tuple[int, int], tuple[int, int]] = {}
+    for t in dag.tasks:
+        key = (t.bi, t.bj)
+        rank = int(assignment[t.tid])
+        seen = owner_of_block.get(key)
+        if seen is None:
+            owner_of_block[key] = (rank, t.tid)
+        elif seen[0] != rank:
+            raise ScheduleViolation(
+                "split-ownership",
+                f"block ({t.bi},{t.bj}) is written from rank {seen[0]} "
+                f"(task {seen[1]}) and rank {rank} (task {t.tid}) — the "
+                "message protocol cannot write a remote block, so a "
+                "split-ownership map deadlocks or corrupts the factor",
+            )
+
+
+def verify_dag(dag, *, assignment=None, nprocs: int | None = None) -> ScheduleReport:
     """Statically verify a factor or solve DAG (module docstring);
-    raises :class:`ScheduleViolation` on the first violation."""
+    raises :class:`ScheduleViolation` on the first violation.
+
+    ``assignment`` (optional, factor DAGs) is a per-task rank array to
+    check for single-writer ownership consistency; ``nprocs`` bounds the
+    valid rank range when given.
+    """
     succ, deps, kind = _successors_and_deps(dag)
     n_edges = _check_edges(succ)
     _check_counters(succ, deps)
     n_roots, depth = _check_acyclic(succ, deps)
     if kind == "factor":
         _check_factor_writers(dag)
+        if assignment is not None:
+            _check_ownership(dag, assignment, nprocs)
     elif getattr(dag, "seq_y", None) is not None:
         _check_tsolve_chains(dag)
     return ScheduleReport(

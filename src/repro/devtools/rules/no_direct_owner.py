@@ -1,0 +1,110 @@
+"""``no-direct-owner`` — block ownership comes from the placement
+policy, never from an inline grid formula.
+
+The placement refactor lifted the 2D block-cyclic owner rule out of the
+call sites: every layer now asks a
+:class:`~repro.core.placement.PlacementPolicy` (``placement.owner(bi,
+bj)`` / ``placement.assign(dag)``) instead of recomputing ownership
+itself.  A direct ``grid.owner(...)`` call — or the inline formula
+``(bi % p) * q + (bj % q)`` — silently hardwires the *cyclic* map back
+into that layer, so a run configured with the cost-model placement would
+route blocks to one set of ranks and messages to another: the classic
+split-ownership deadlock, discovered only at runtime and far from the
+offending line.
+
+So outside the placement/mapping modules this rule flags
+
+* ``.owner(...)`` calls whose receiver is grid-shaped — a name
+  containing ``grid`` or a ``ProcessGrid(...)`` /
+  ``ProcessGrid.square(...)`` construction (``placement.owner(...)``
+  passes: policies are the single source of truth), and
+* the inline block-cyclic arithmetic ``(a % p) * q + (b % q)`` in any
+  expression.
+
+``core/placement.py`` and ``core/mapping.py`` *define* the cyclic rule
+and are outside this rule's scope, as are the devtools themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..astlint import FileContext, Finding, Rule, register
+
+
+def _is_mod(node: ast.AST) -> bool:
+    return isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod)
+
+
+def _contains_mod_factor(node: ast.AST) -> bool:
+    """A ``Mult`` with a ``%`` on either side (``(bi % p) * q``)."""
+    return (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, ast.Mult)
+        and (_is_mod(node.left) or _is_mod(node.right))
+    )
+
+
+def _grid_shaped(node: ast.AST) -> bool:
+    """Receiver looks like a process grid rather than a placement."""
+    if isinstance(node, ast.Name):
+        return "grid" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        if "grid" in node.attr.lower():
+            return True
+        return _grid_shaped(node.value)
+    if isinstance(node, ast.Call):
+        fn = node.func
+        if isinstance(fn, ast.Name) and fn.id == "ProcessGrid":
+            return True
+        if isinstance(fn, ast.Attribute):
+            # ProcessGrid.square(...) and friends
+            if isinstance(fn.value, ast.Name) and fn.value.id == "ProcessGrid":
+                return True
+    return False
+
+
+@register
+class NoDirectOwnerRule(Rule):
+    name = "no-direct-owner"
+    description = (
+        "block ownership comes from the PlacementPolicy, not from "
+        "grid.owner(...) or inline (bi % p) * q + (bj % q) arithmetic"
+    )
+    files = (
+        "*/repro/*.py",
+    )
+    exclude = (
+        "*/repro/core/placement.py",
+        "*/repro/core/mapping.py",
+        "*/repro/devtools/*",
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "owner"
+                and _grid_shaped(node.value)
+            ):
+                yield ctx.finding(
+                    self.name, node,
+                    "direct grid ownership query hardwires the cyclic "
+                    "map — ask the placement policy "
+                    "(placement.owner(bi, bj)) instead",
+                )
+            elif (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Add)
+                and (
+                    (_contains_mod_factor(node.left) and _is_mod(node.right))
+                    or (_is_mod(node.left) and _contains_mod_factor(node.right))
+                )
+            ):
+                yield ctx.finding(
+                    self.name, node,
+                    "inline block-cyclic owner arithmetic — ownership is "
+                    "single-sourced in repro.core.placement; use "
+                    "placement.owner(bi, bj)",
+                )

@@ -17,7 +17,8 @@ import numpy as np
 
 from ..core.blocking import BlockMatrix
 from ..core.dag import TaskDAG, TaskType
-from ..core.mapping import ProcessGrid, assign_tasks, balance_loads
+from ..core.mapping import balance_loads
+from ..core.placement import resolve_placement
 from .costmodel import SimTask, best_version, extract_sim_tasks, kernel_time
 from .machine import Platform
 from .simulator import SimResult, SimSpec, simulate
@@ -92,20 +93,36 @@ def simulate_pangulu(
     adaptive_kernels: bool = True,
     load_balance: bool = True,
     assignment: np.ndarray | None = None,
+    placement="cyclic",
 ) -> PanguLUSimulation:
     """Simulate PanguLU's numeric factorisation on ``nprocs`` processes.
 
     Parameters mirror the paper's three optimisation knobs: scheduling
     policy (sync-free vs level-set), adaptive kernel selection, and static
     load balancing — the Fig. 14 ablation toggles them independently.
+    ``placement`` names the block→rank ownership policy (``"cyclic"``
+    default, ``"cost"``, or a fitted
+    :class:`~repro.core.placement.PlacementPolicy`); the ``"cost"``
+    policy reads the platform's ``rank_speeds`` to favour fast ranks.
+    An explicit ``assignment`` overrides the placement entirely.
     """
     sim_tasks = extract_sim_tasks(f, dag)
     durations, versions = price_tasks(sim_tasks, platform, adaptive=adaptive_kernels)
-    grid = ProcessGrid.square(nprocs)
     if assignment is None:
-        assignment = assign_tasks(dag, grid)
+        # expand the platform's (possibly cycled) speed pattern to one
+        # factor per simulated rank
+        speeds = (
+            tuple(platform.rank_speed(p) for p in range(nprocs))
+            if platform.rank_speeds else None
+        )
+        place = resolve_placement(
+            placement, nprocs, speeds=speeds
+        ).prepare(dag, f)
+        assignment = place.assign(dag)
         if load_balance and nprocs > 1:
-            assignment = balance_loads(dag, grid, assignment)
+            assignment = balance_loads(
+                dag, place, assignment, speeds=place.speeds
+            )
     priority = np.asarray(
         [t.k * 8 + int(t.ttype) for t in dag.tasks], dtype=np.float64
     )
@@ -133,6 +150,8 @@ def simulate_tsolve(
     f: BlockMatrix,
     platform: Platform,
     nprocs: int,
+    *,
+    placement="cyclic",
 ) -> SimResult:
     """Simulate the distributed block triangular solves (phase 5).
 
@@ -147,13 +166,20 @@ def simulate_tsolve(
     ``build_tsolve_dag(..., executable=True)``, which adds the
     per-segment writer chains concurrent execution needs; the simulator
     deliberately keeps the looser graph — it prices the critical path,
-    it does not race on memory.
+    it does not race on memory.  ``placement`` selects the block→rank
+    ownership policy (name or fitted instance; the ``"cost"`` policy
+    costs blocks by storage traffic here, the solve-only path).
     """
-    from ..core.mapping import ProcessGrid
     from ..core.tsolve_dag import build_tsolve_dag
 
-    grid = ProcessGrid.square(nprocs)
-    dag = build_tsolve_dag(f, grid.owner)
+    speeds = (
+        tuple(platform.rank_speed(p) for p in range(nprocs))
+        if platform.rank_speeds else None
+    )
+    place = resolve_placement(
+        placement, nprocs, speeds=speeds
+    ).prepare(blocks=f)
+    dag = build_tsolve_dag(f, place.owner)
     from .costmodel import bytes_per_entry
 
     # one value+index stream per mult-add, at the factor's actual itemsize

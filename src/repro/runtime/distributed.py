@@ -3,8 +3,9 @@
 The closest in-repo analogue of PanguLU's MPI execution: the factorisation
 runs on ``n_procs`` ranks, each of which
 
-* initially holds **only the blocks it owns** under the 2D block-cyclic
-  rule (distributed memory, not shared);
+* initially holds **only the blocks it owns** under the configured
+  :class:`~repro.core.placement.PlacementPolicy` (2D block-cyclic by
+  default; distributed memory, not shared);
 * executes the tasks targeting its blocks, picking the highest-priority
   (earliest elimination step) ready task — the Section 4.4 discipline,
   run by a rank-local :class:`~repro.runtime.scheduler.SchedulerCore`
@@ -29,6 +30,14 @@ ones back, and patches them into the caller's
 indistinguishable from a sequential factorisation (asserted by the
 tests).
 
+With ``n_threads > 1`` each rank becomes a **hybrid** rank (HYLU-style
+mixed parallelism): a dedicated receiver thread absorbs inbound block
+messages while ``n_threads`` compute threads drain the rank's one shared
+:class:`~repro.runtime.scheduler.SchedulerCore` under a condition lock —
+the exact threading policy of :mod:`repro.runtime.threaded` — so the
+message protocol, trace lanes and RaceChecker instrumentation are reused
+unchanged.
+
 This executor is about protocol fidelity, not speed: Python processes
 pay pickling costs that real MPI ranks do not.
 """
@@ -37,6 +46,7 @@ from __future__ import annotations
 
 import logging
 import queue as queue_mod
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -44,7 +54,7 @@ import numpy as np
 
 from ..core.blocking import BlockMatrix
 from ..core.dag import TaskDAG, TaskType
-from ..core.mapping import ProcessGrid
+from ..core.placement import CyclicPlacement, PlacementPolicy
 from ..core.numeric import _TTYPE_TO_KTYPE, NumericOptions, execute_task, task_features
 from ..core.tsolve import (
     TSolveStats,
@@ -152,13 +162,18 @@ def _worker_main(
     plan_entry_limit: int | None,
     trace: bool,
     validate: bool = False,
+    n_threads: int = 1,
 ) -> None:
     """Worker loop: compute own tasks, exchange blocks, ship results back.
 
     ``tasks[tid] = (ttype, k, bi, bj, n_deps, flops)``.  With
     ``validate`` a rank-local :class:`~repro.devtools.racecheck.
     RaceChecker` audits the counter protocol; a violation is posted to
-    the master as this rank's failure.
+    the master as this rank's failure.  With ``n_threads > 1`` the rank
+    runs the hybrid mode: a receiver thread absorbs inbound messages
+    while ``n_threads`` compute threads share this rank's scheduler core
+    (the :mod:`repro.runtime.threaded` policy, per-target-block locks
+    included).
     """
     from ..core.dag import Task
     from ..kernels.plans import PlanCache
@@ -228,7 +243,8 @@ def _worker_main(
             )
         core.complete(src_tid)  # remote predecessor: releases local tasks
 
-    try:
+    def run_single_lane() -> None:
+        nonlocal sent_msgs, sent_bytes, pivots, planned_count
         while not core.done():
             tid = core.pop()
             if tid is None:
@@ -280,6 +296,122 @@ def _worker_main(
                     sent_bytes += nbytes
                     if recorder is not None:
                         recorder.send(rank, w, tid, nbytes)
+
+    def run_hybrid() -> None:
+        nonlocal sent_msgs, sent_bytes, pivots, planned_count
+        cond = threading.Condition()
+        errors: list[BaseException] = []
+        # one lock per block this rank's tasks write (virtual slots)
+        slot_locks: dict[int, threading.Lock] = {}
+        for t in my_tasks:
+            slot_locks.setdefault(
+                view.block_slot(tasks[t][2], tasks[t][3]), threading.Lock()
+            )
+        # each remote task with a locally-owned successor sends exactly
+        # one message here, so the receiver's lifetime is a fixed count
+        expected = sum(
+            1
+            for t in range(len(tasks))
+            if owner_of_task[t] != rank
+            and any(owner_of_task[s] == rank for s in successors[t])
+        )
+
+        def receive() -> None:
+            for _ in range(expected):
+                try:
+                    msg = endpoint.recv()
+                except TransportStopped:
+                    return
+                with cond:
+                    absorb(msg)
+                    cond.notify_all()
+
+        def compute(wid: int) -> None:
+            nonlocal sent_msgs, sent_bytes, pivots, planned_count
+            ws_local = Workspace()
+            try:
+                while True:
+                    with cond:
+                        tid = core.pop()
+                        while tid is None and not core.done() and not errors:
+                            cond.wait()
+                            tid = core.pop()
+                        if errors or tid is None:
+                            return
+                    ttype, k, bi, bj, _, flops = tasks[tid]
+                    task = Task(tid, TaskType(ttype), k, bi, bj, flops)
+                    feats = task_features(view, task)
+                    ktype = _TTYPE_TO_KTYPE[task.ttype]
+                    version = selector.select(ktype, feats)
+                    t0 = time.perf_counter() if recorder else 0.0
+                    slot = view.block_slot(bi, bj)
+                    with slot_locks[slot]:
+                        if checker is not None:
+                            checker.begin_write(slot, tid, wid)
+                        try:
+                            replaced, planned = execute_task(
+                                view, task, version, ws_local,
+                                pivot_floor=pivot_floor, plans=plans,
+                            )
+                        finally:
+                            if checker is not None:
+                                checker.end_write(slot, tid, wid)
+                    if recorder is not None:
+                        recorder.task(
+                            rank, f"{task.ttype.name}(k={k},{bi},{bj})",
+                            task.ttype.name, t0, time.perf_counter(), tid,
+                        )
+                    with cond:
+                        choices[tid] = f"{ktype.value}/{version}"
+                        pivots += replaced
+                        planned_count += int(planned)
+                        newly_ready = core.complete(tid)
+                        if core.done():
+                            cond.notify_all()
+                        elif newly_ready:
+                            cond.notify(newly_ready)
+                    endpoint.on_task_executed(core.executed)
+                    dests = consumers(tid)
+                    if dests:
+                        # panel results are final (the panel is its
+                        # block's last writer), so the live arrays are
+                        # stable by the time any consumer reads them
+                        target = view.block(bi, bj)
+                        payload = (
+                            tid, bi, bj,
+                            target.indptr, target.indices, target.data,
+                        )
+                        nbytes = _block_nbytes(target)
+                        for w in dests:
+                            endpoint.send(w, payload)
+                            with cond:
+                                sent_msgs += 1
+                                sent_bytes += nbytes
+                            if recorder is not None:
+                                recorder.send(rank, w, tid, nbytes)
+            except BaseException as exc:  # surface via the master
+                with cond:
+                    errors.append(exc)
+                    cond.notify_all()
+
+        rx = threading.Thread(target=receive, daemon=True)
+        rx.start()
+        pool = [
+            threading.Thread(target=compute, args=(wid,), daemon=True)
+            for wid in range(n_threads)
+        ]
+        for th in pool:
+            th.start()
+        for th in pool:
+            th.join()
+        if errors:
+            raise errors[0]
+
+    try:
+        if n_threads > 1:
+            run_hybrid()
+        else:
+            run_single_lane()
         if checker is not None:
             checker.final_check(core)
         # ship factored owned blocks home (received operand copies stay)
@@ -319,13 +451,19 @@ def factorize_distributed(
     transport: Transport | None = None,
     recorder: EventRecorder | None = None,
     validate: bool = False,
+    placement: PlacementPolicy | None = None,
+    n_threads: int = 1,
 ) -> DistributedStats:
     """Factorise ``f`` in place across ``n_procs`` ranks.
 
-    Tasks and block storage follow the pure 2D block-cyclic owner rule
-    (the load balancer is not applied here: migrating a task away from
-    its block's owner would require remote writes, which the message
-    protocol — like PanguLU's — does not do for targets).
+    Tasks and block storage follow the block→rank map of ``placement``
+    (a fitted :class:`~repro.core.placement.PlacementPolicy`; ``None``
+    selects the paper's 2D block-cyclic rule).  The load balancer is not
+    applied here: migrating a task away from its block's owner would
+    require remote writes, which the message protocol — like PanguLU's —
+    does not do for targets.  With ``n_threads > 1`` each rank drives a
+    pool of that many compute threads over its shared scheduler core
+    (the ``"hybrid"`` engine).
 
     ``transport`` selects the message substrate: the default
     :class:`~repro.runtime.transports.MultiprocessingTransport` (one OS
@@ -344,12 +482,20 @@ def factorize_distributed(
     options = options or NumericOptions()
     if n_procs < 1:
         raise ValueError("need at least one process")
-    grid = ProcessGrid.square(n_procs)
+    if n_threads < 1:
+        raise ValueError("need at least one thread per rank")
+    if placement is None:
+        placement = CyclicPlacement(n_procs)
+    elif placement.nprocs != n_procs:
+        raise ValueError(
+            f"placement {placement.name!r} was built for "
+            f"{placement.nprocs} ranks, but {n_procs} were requested"
+        )
     owner_of_block: dict[tuple[int, int], int] = {}
     for bj in range(f.nb):
         rows, _ = f.blocks_in_column(bj)
         for bi in rows:
-            owner_of_block[(int(bi), bj)] = grid.owner(int(bi), bj)
+            owner_of_block[(int(bi), bj)] = placement.owner(int(bi), bj)
     owner_of_task = np.asarray(
         [owner_of_block[(t.bi, t.bj)] for t in dag.tasks], dtype=np.int64
     )
@@ -372,6 +518,7 @@ def factorize_distributed(
             f.boundaries, owned_per_rank[rank], tasks, successors,
             owner_of_task, options.pivot_floor, options.use_plans,
             options.plan_entry_limit, recorder is not None, validate,
+            n_threads,
         )
 
     transport.start(n_procs, _worker_main, args_of_rank)
@@ -435,6 +582,7 @@ def _tsolve_worker_main(
     use_plans: bool,
     trace: bool,
     validate: bool = False,
+    n_threads: int = 1,
 ) -> None:
     """Solve-phase worker loop: run owned solve tasks, exchange RHS
     segments, ship solved ``x`` segments back.
@@ -511,7 +659,8 @@ def _tsolve_worker_main(
     def consumers(tid: int) -> set[int]:
         return {int(owner_of_task[s]) for s in successors[tid]} - {rank}
 
-    try:
+    def run_single_lane() -> None:
+        nonlocal sent_msgs, sent_bytes
         while not core.done():
             tid = core.pop()
             if tid is None:
@@ -557,6 +706,133 @@ def _tsolve_worker_main(
                     sent_bytes += arr.nbytes
                     if recorder is not None:
                         recorder.send(rank, w, tid, arr.nbytes)
+
+    def run_hybrid() -> None:
+        nonlocal sent_msgs, sent_bytes
+        cond = threading.Condition()
+        errors: list[BaseException] = []
+        # y slots [0, nb), x slots [nb, 2·nb) — same layout as
+        # tsolve_write_slots, shared by writers and the receiver
+        seg_locks = [threading.Lock() for _ in range(2 * view.nb)]
+        expected = sum(
+            1
+            for t in range(len(kinds))
+            if owner_of_task[t] != rank
+            and any(owner_of_task[s] == rank for s in successors[t])
+        )
+
+        def absorb_locked(msg) -> None:
+            src_tid, tgt, arr = msg
+            seg = seg_of(tgt)
+            if seq_y[src_tid] >= 0:
+                with seg_locks[tgt]:
+                    if seq_y[src_tid] > applied_y.get(tgt, -1):
+                        y[seg] = arr
+                        applied_y[tgt] = int(seq_y[src_tid])
+            if seq_x[src_tid] >= 0:
+                with seg_locks[view.nb + tgt]:
+                    if seq_x[src_tid] > applied_x.get(tgt, -1):
+                        x[seg] = arr
+                        applied_x[tgt] = int(seq_x[src_tid])
+            if recorder is not None:
+                recorder.recv(
+                    rank, int(owner_of_task[src_tid]), src_tid, arr.nbytes
+                )
+            with cond:
+                core.complete(src_tid)
+                cond.notify_all()
+
+        def receive() -> None:
+            for _ in range(expected):
+                try:
+                    msg = endpoint.recv()
+                except TransportStopped:
+                    return
+                absorb_locked(msg)
+
+        def compute(wid: int) -> None:
+            nonlocal sent_msgs, sent_bytes
+            try:
+                while True:
+                    with cond:
+                        tid = core.pop()
+                        while tid is None and not core.done() and not errors:
+                            cond.wait()
+                            tid = core.pop()
+                        if errors or tid is None:
+                            return
+                    kind = int(kinds[tid])
+                    tgt = int(target[tid])
+                    slots = tsolve_write_slots(tdag, tid, view.nb)
+                    dests = consumers(tid)
+                    t0 = time.perf_counter() if recorder else 0.0
+                    payload = None
+                    for s in slots:
+                        seg_locks[s].acquire()
+                    if checker is not None:
+                        for s in slots:
+                            checker.begin_write(s, tid, wid)
+                    try:
+                        execute_tsolve_task(view, tdag, tid, y, x, plans)
+                        mark_written(tid, tgt)
+                        if dests:
+                            # snapshot the outgoing segment while the
+                            # write locks are still held: once the task
+                            # completes, a chained successor writer on
+                            # another thread may overwrite it before the
+                            # send reads it
+                            seg = seg_of(tgt)
+                            payload = np.array(y[seg] if kind in (
+                                TSolveTaskType.DIAG_F, TSolveTaskType.UPD_F
+                            ) else x[seg])
+                    finally:
+                        if checker is not None:
+                            for s in slots:
+                                checker.end_write(s, tid, wid)
+                        for s in reversed(slots):
+                            seg_locks[s].release()
+                    if recorder is not None:
+                        recorder.task(
+                            rank, tsolve_task_label(tdag, tid),
+                            _KIND_NAMES[kind], t0, time.perf_counter(), tid,
+                        )
+                    with cond:
+                        newly_ready = core.complete(tid)
+                        if core.done():
+                            cond.notify_all()
+                        elif newly_ready:
+                            cond.notify(newly_ready)
+                    endpoint.on_task_executed(core.executed)
+                    for w in dests:
+                        endpoint.send(w, (tid, tgt, payload))
+                        with cond:
+                            sent_msgs += 1
+                            sent_bytes += payload.nbytes
+                        if recorder is not None:
+                            recorder.send(rank, w, tid, payload.nbytes)
+            except BaseException as exc:  # surface via the master
+                with cond:
+                    errors.append(exc)
+                    cond.notify_all()
+
+        rx = threading.Thread(target=receive, daemon=True)
+        rx.start()
+        pool = [
+            threading.Thread(target=compute, args=(wid,), daemon=True)
+            for wid in range(n_threads)
+        ]
+        for th in pool:
+            th.start()
+        for th in pool:
+            th.join()
+        if errors:
+            raise errors[0]
+
+    try:
+        if n_threads > 1:
+            run_hybrid()
+        else:
+            run_single_lane()
         if checker is not None:
             checker.final_check(core)
         # ship home the x segments this rank finished (its DIAG_B tasks)
@@ -594,36 +870,50 @@ def tsolve_distributed(
     transport: Transport | None = None,
     recorder: EventRecorder | None = None,
     validate: bool = False,
+    placement: PlacementPolicy | None = None,
+    n_threads: int = 1,
 ) -> tuple:
     """Both triangular sweeps across ``n_procs`` ranks.
 
-    ``tdag`` must be the *executable* solve DAG built with this process
-    count's 2D block-cyclic owner rule
-    (``build_tsolve_dag(f, ProcessGrid.square(n_procs).owner,
-    executable=True)``) — diag solves run on the diagonal block's owner,
+    ``tdag`` must be the *executable* solve DAG built with this run's
+    block→rank owner map (``build_tsolve_dag(f, placement.owner,
+    executable=True)``; ``placement=None`` selects the paper's 2D
+    block-cyclic rule) — diag solves run on the diagonal block's owner,
     updates on the off-diagonal block's owner, so factor blocks stay put
     and only RHS segments travel.  Messages carry real segment bytes
     (``arr.nbytes``), accounted in the returned stats; the write-sequence
     guard of :func:`_tsolve_worker_main` keeps out-of-order deliveries
     harmless, so the gathered solution is bit-identical to
-    :func:`repro.core.tsolve.tsolve_sequential`.  ``transport`` /
-    ``timeout`` / ``recorder`` / ``validate`` behave exactly as in
-    :func:`factorize_distributed`.  Returns ``(x, TSolveStats)``.
+    :func:`repro.core.tsolve.tsolve_sequential`.  With ``n_threads > 1``
+    each rank drains its scheduler core with a thread pool (the
+    ``"hybrid"`` engine).  ``transport`` / ``timeout`` / ``recorder`` /
+    ``validate`` behave exactly as in :func:`factorize_distributed`.
+    Returns ``(x, TSolveStats)``.
     """
     if n_procs < 1:
         raise ValueError("need at least one process")
+    if n_threads < 1:
+        raise ValueError("need at least one thread per rank")
     if tdag.seq_y is None:
         raise ValueError("tsolve_distributed needs an executable solve DAG "
                          "(build_tsolve_dag(..., executable=True))")
     y0 = _check_rhs(f.n, b)
-    grid = ProcessGrid.square(n_procs)
+    if placement is None:
+        placement = CyclicPlacement(n_procs)
+    elif placement.nprocs != n_procs:
+        raise ValueError(
+            f"placement {placement.name!r} was built for "
+            f"{placement.nprocs} ranks, but {n_procs} were requested"
+        )
     owned_per_rank: list[list[tuple[int, int, CSCMatrix]]] = [
         [] for _ in range(n_procs)
     ]
     for bj in range(f.nb):
         rows, blocks = f.blocks_in_column(bj)
         for bi, blk in zip(rows, blocks):
-            owned_per_rank[grid.owner(int(bi), bj)].append((int(bi), bj, blk))
+            owned_per_rank[placement.owner(int(bi), bj)].append(
+                (int(bi), bj, blk)
+            )
 
     dag_arrays = (
         tdag.kinds, tdag.k_of, tdag.target, tdag.n_deps,
@@ -634,14 +924,14 @@ def tsolve_distributed(
     def args_of_rank(rank: int) -> tuple:
         return (
             f.boundaries, owned_per_rank[rank], dag_arrays, y0,
-            use_plans, recorder is not None, validate,
+            use_plans, recorder is not None, validate, n_threads,
         )
 
     t_start = time.perf_counter()
     transport.start(n_procs, _tsolve_worker_main, args_of_rank)
 
     stats = TSolveStats(
-        engine="distributed",
+        engine="distributed" if n_threads == 1 else "hybrid",
         n_procs=n_procs,
         nrhs=1 if y0.ndim == 1 else y0.shape[1],
     )

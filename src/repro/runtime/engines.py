@@ -4,24 +4,28 @@ One engine = one way of draining the task DAG through the shared
 :class:`~repro.runtime.scheduler.SchedulerCore`.  The registry maps the
 ``SolverOptions.engine`` string to a callable with the uniform signature
 
-``engine(blocks, dag, solver_options, *, recorder=None) -> FactorizeStats``
+``engine(blocks, dag, solver_options, *, recorder=None, placement=None)
+-> FactorizeStats``
 
 so the :class:`~repro.core.solver.PanguLU` facade (and the CLI's
 ``--engine`` flag) dispatch by name instead of special-casing worker
-counts.  A future engine — async, sharded, multi-backend — is a
-transport plus one :func:`register_engine` call.
+counts.  ``placement`` is the fitted
+:class:`~repro.core.placement.PlacementPolicy` deciding block→rank
+ownership for the multi-rank engines (the local engines ignore it).  A
+future engine — async, sharded, multi-backend — is a transport plus one
+:func:`register_engine` call.
 
-Phase 5 has a parallel registry: the same three names map to
+Phase 5 has a parallel registry: the same names map to
 *triangular-solve* engines with the signature
 
-``tsolve_engine(blocks, tdag, b, solver_options, *, recorder=None)
--> (x, TSolveStats)``
+``tsolve_engine(blocks, tdag, b, solver_options, *, recorder=None,
+placement=None) -> (x, TSolveStats)``
 
 registered via :func:`register_tsolve_engine` and dispatched by the
 :class:`~repro.core.solver.Factorization` handle, so one
 ``SolverOptions.engine`` string governs both the factorisation and every
-subsequent solve.  All three produce bit-identical solutions (the solve
-DAG totally orders each RHS segment's writers).
+subsequent solve.  All engines produce bit-identical solutions (the
+solve DAG totally orders each RHS segment's writers).
 
 Built-ins (both registries):
 
@@ -31,6 +35,9 @@ name        substrate
 sequential  one thread, one core (the correctness reference)
 threaded    ``options.n_workers`` threads sharing one core
 distributed ``options.nprocs`` ranks over a message transport
+hybrid      ``options.nprocs`` ranks × ``options.n_workers`` threads
+            per rank, each rank's thread pool draining one shared
+            scheduler core (HYLU-style mixed parallelism)
 ========== ==========================================================
 """
 
@@ -95,7 +102,8 @@ def _resolve_checker(options, label: str):
 
 @register_engine("sequential")
 def _sequential(
-    f, dag, options, *, recorder: EventRecorder | None = None
+    f, dag, options, *, recorder: EventRecorder | None = None,
+    placement=None,
 ) -> FactorizeStats:
     return factorize(
         f, dag, options.numeric, recorder=recorder,
@@ -105,7 +113,8 @@ def _sequential(
 
 @register_engine("threaded")
 def _threaded(
-    f, dag, options, *, recorder: EventRecorder | None = None
+    f, dag, options, *, recorder: EventRecorder | None = None,
+    placement=None,
 ) -> FactorizeStats:
     tstats = factorize_threaded(
         f, dag, options.numeric,
@@ -124,14 +133,37 @@ def _threaded(
 
 @register_engine("distributed")
 def _distributed(
-    f, dag, options, *, recorder: EventRecorder | None = None
+    f, dag, options, *, recorder: EventRecorder | None = None,
+    placement=None,
 ) -> FactorizeStats:
     from ..devtools.racecheck import validation_enabled
 
     dstats = factorize_distributed(
         f, dag, max(1, options.nprocs),
         options=options.numeric, recorder=recorder,
-        validate=validation_enabled(options),
+        validate=validation_enabled(options), placement=placement,
+    )
+    return FactorizeStats(
+        kernel_choices=dstats.kernel_choices,
+        tasks_executed=sum(dstats.tasks_per_proc),
+        flops_total=dag.total_flops,
+        pivots_replaced=dstats.pivots_replaced,
+        planned_tasks=dstats.planned_tasks,
+    )
+
+
+@register_engine("hybrid")
+def _hybrid(
+    f, dag, options, *, recorder: EventRecorder | None = None,
+    placement=None,
+) -> FactorizeStats:
+    from ..devtools.racecheck import validation_enabled
+
+    dstats = factorize_distributed(
+        f, dag, max(1, options.nprocs),
+        options=options.numeric, recorder=recorder,
+        validate=validation_enabled(options), placement=placement,
+        n_threads=max(1, options.n_workers),
     )
     return FactorizeStats(
         kernel_choices=dstats.kernel_choices,
@@ -178,7 +210,8 @@ def available_tsolve_engines() -> list[str]:
 
 @register_tsolve_engine("sequential")
 def _tsolve_sequential(
-    f, tdag, b, options, *, recorder: EventRecorder | None = None
+    f, tdag, b, options, *, recorder: EventRecorder | None = None,
+    placement=None,
 ) -> tuple:
     return tsolve_sequential(
         f, b, tdag=tdag, plans=resolve_plan_cache(f, options.numeric),
@@ -189,7 +222,8 @@ def _tsolve_sequential(
 
 @register_tsolve_engine("threaded")
 def _tsolve_threaded(
-    f, tdag, b, options, *, recorder: EventRecorder | None = None
+    f, tdag, b, options, *, recorder: EventRecorder | None = None,
+    placement=None,
 ) -> tuple:
     return tsolve_threaded(
         f, tdag, b, n_workers=max(1, options.n_workers),
@@ -200,12 +234,28 @@ def _tsolve_threaded(
 
 @register_tsolve_engine("distributed")
 def _tsolve_distributed(
-    f, tdag, b, options, *, recorder: EventRecorder | None = None
+    f, tdag, b, options, *, recorder: EventRecorder | None = None,
+    placement=None,
 ) -> tuple:
     from ..devtools.racecheck import validation_enabled
 
     return tsolve_distributed(
         f, tdag, b, max(1, options.nprocs),
         use_plans=options.numeric.use_plans, recorder=recorder,
-        validate=validation_enabled(options),
+        validate=validation_enabled(options), placement=placement,
+    )
+
+
+@register_tsolve_engine("hybrid")
+def _tsolve_hybrid(
+    f, tdag, b, options, *, recorder: EventRecorder | None = None,
+    placement=None,
+) -> tuple:
+    from ..devtools.racecheck import validation_enabled
+
+    return tsolve_distributed(
+        f, tdag, b, max(1, options.nprocs),
+        use_plans=options.numeric.use_plans, recorder=recorder,
+        validate=validation_enabled(options), placement=placement,
+        n_threads=max(1, options.n_workers),
     )

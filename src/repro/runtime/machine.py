@@ -64,6 +64,13 @@ class Platform:
         Same-node message latency (s) and bandwidth (bytes/s).
     inter_latency / inter_bandwidth:
         Cross-node message latency and bandwidth.
+    rank_speeds:
+        Per-rank relative speed factors for a *heterogeneous* machine
+        (e.g. ``(1.0, 1.0, 0.4, 0.4)`` models two full-speed and two
+        2.5×-slower ranks).  ``None`` (default) keeps every rank at
+        speed 1.0 — bit-identical to the historical homogeneous model.
+        Cycled when there are more ranks than entries, mirroring how a
+        node type repeats across a cluster.
     """
 
     name: str
@@ -74,6 +81,13 @@ class Platform:
     intra_bandwidth: float = 4.0e10
     inter_latency: float = 1.8e-5
     inter_bandwidth: float = 1.2e10
+    rank_speeds: tuple[float, ...] | None = None
+
+    def rank_speed(self, rank: int) -> float:
+        """Relative speed factor of ``rank`` (1.0 when homogeneous)."""
+        if not self.rank_speeds:
+            return 1.0
+        return float(self.rank_speeds[rank % len(self.rank_speeds)])
 
     def message_time(self, src: int, dst: int, nbytes: float) -> float:
         """Transfer time of one message between two processes."""

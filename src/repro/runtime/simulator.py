@@ -4,7 +4,10 @@ This is the substrate that stands in for the paper's 128-GPU clusters:
 it replays a task DAG (PanguLU's block kernels or the baseline's
 supernodal panels) over ``P`` simulated processes with
 
-* per-task durations from the platform cost models,
+* per-task durations from the platform cost models, divided by the
+  executing rank's ``Platform.rank_speed`` factor (heterogeneous
+  machines run slow ranks proportionally longer; the default
+  homogeneous speeds leave durations untouched),
 * point-to-point message delays from the network model (a task's output
   travels to every consumer on another process),
 * one of two scheduling policies:
@@ -120,6 +123,11 @@ def simulate(spec: SimSpec, platform: Platform, *, schedule: str = "syncfree") -
             current_level += 1  # skip structurally empty leading levels
         deferred: dict[int, list[int]] = {}
 
+    # per-rank speed scaling: slow ranks hold tasks proportionally longer
+    speeds = np.asarray(
+        [platform.rank_speed(p) for p in range(nprocs)], dtype=np.float64
+    )
+
     ready: list[list[tuple[float, int]]] = [[] for _ in range(nprocs)]
     busy = np.zeros(nprocs, dtype=bool)
     prev_end = np.zeros(nprocs)
@@ -158,7 +166,7 @@ def simulate(spec: SimSpec, platform: Platform, *, schedule: str = "syncfree") -
         if now > prev_end[p]:
             sync_seconds[p] += now - prev_end[p]
         start_times[tid] = now
-        dur = float(spec.durations[tid])
+        dur = float(spec.durations[tid]) / speeds[p]
         push_event(now + dur, _DONE, tid)
 
     # roots
@@ -173,7 +181,7 @@ def simulate(spec: SimSpec, platform: Platform, *, schedule: str = "syncfree") -
             executed += 1
             p = int(spec.owner[tid])
             busy[p] = False
-            busy_seconds[p] += float(spec.durations[tid])
+            busy_seconds[p] += float(spec.durations[tid]) / speeds[p]
             prev_end[p] = t
             end_times[tid] = t
             makespan = max(makespan, t)

@@ -1,0 +1,20 @@
+"""Should-flag fixture for ``no-direct-owner``: direct grid ownership
+queries and inline block-cyclic arithmetic."""
+
+
+def scatter_blocks(f, grid):
+    owners = {}
+    for bi in range(f.nb):
+        for bj in range(f.nb):
+            owners[(bi, bj)] = grid.owner(bi, bj)  # flagged: grid receiver
+    return owners
+
+
+def owner_of(bi, bj, nprocs):
+    from repro.core.mapping import ProcessGrid
+
+    return ProcessGrid.square(nprocs).owner(bi, bj)  # flagged: grid call
+
+
+def inline_rule(bi, bj, p, q):
+    return (bi % p) * q + (bj % q)  # flagged: inline cyclic formula

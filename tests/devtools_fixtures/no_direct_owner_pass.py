@@ -1,0 +1,21 @@
+"""Clean fixture for ``no-direct-owner``: ownership always goes through
+the placement policy."""
+
+
+def scatter_blocks(f, placement):
+    owners = {}
+    for bi in range(f.nb):
+        for bj in range(f.nb):
+            owners[(bi, bj)] = placement.owner(bi, bj)
+    return owners
+
+
+def assign(dag, nprocs):
+    from repro.core.placement import CyclicPlacement
+
+    return CyclicPlacement(nprocs).assign(dag)
+
+
+def unrelated_arithmetic(a, b, p, q):
+    # modulo without the paired cyclic shape is fine
+    return (a % p) + b * q

@@ -33,6 +33,7 @@ RULE_FIXTURES = {
     "no-bare-except-in-runtime": "bare_except",
     "picklable-messages": "picklable_messages",
     "no-block-rebind": "no_block_rebind",
+    "no-direct-owner": "no_direct_owner",
     "no-global-blocksize": "no_global_blocksize",
     "no-implicit-float64": "no_implicit_float64",
     "unused-noqa": "unused_noqa",

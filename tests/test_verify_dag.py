@@ -19,7 +19,7 @@ from repro.core.dag import TaskType
 from repro.core.solver import PanguLU, SolverOptions
 from repro.core.tsolve_dag import TSolveTaskType, build_tsolve_dag
 from repro.core.verify import ScheduleReport, ScheduleViolation, verify_dag
-from repro.runtime.distributed import ProcessGrid
+from repro.core.mapping import ProcessGrid
 from repro.sparse import random_sparse
 from repro.symbolic import symbolic_symmetric
 
