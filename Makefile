@@ -1,4 +1,4 @@
-.PHONY: check lint analyze test
+.PHONY: check lint analyze test bench-tier2
 
 check:
 	sh scripts/check.sh
@@ -22,3 +22,9 @@ analyze:
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
+
+# regenerate BENCH_kernels.json (stamped with git SHA + timestamp +
+# matrix set); absolute numbers are machine-dependent — the ratios are
+# what reviews look at
+bench-tier2:
+	python benchmarks/run_tier2.py

@@ -23,9 +23,11 @@ Usage::
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -59,6 +61,26 @@ DENSITY_REGIMES = {"sparse": 0.008, "medium": 0.02, "filled": 0.06}
 REPEATS = 5
 
 WS = Workspace()
+
+
+def _git_sha() -> str:
+    """The current commit (dirty-marked), or ``"unknown"`` outside git —
+    the provenance stamp that lets a reviewed JSON be tied to the code
+    that produced it."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        ).stdout.strip()
+        if not sha:
+            return "unknown"
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        ).stdout.strip()
+        return f"{sha}-dirty" if dirty else sha
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
 
 
 def _quad(n: int, density: float, seed: int = 7):
@@ -306,6 +328,63 @@ def bench_placement() -> dict:
     return out
 
 
+def bench_compression() -> dict:
+    """Compressed low-rank blocks on vs off in the filled regime: block
+    count and U/V payload of the overlay, factorise latency, the
+    loopback wire bytes of a 3-rank distributed run, and the refined
+    residual (the accuracy gate compression must not break)."""
+    import scipy.sparse as sp
+
+    from repro import PanguLU, SolverOptions
+    from repro.core import block_partition, build_dag
+    from repro.core.numeric import NumericOptions
+    from repro.runtime import LoopbackTransport, factorize_distributed
+    from repro.sparse import CSCMatrix
+
+    n = max(192, int(960 * SCALE))
+    bs = 32
+    n -= n % bs
+    rng = np.random.default_rng(11)
+    u, v = rng.standard_normal((n, 2)), rng.standard_normal((n, 2))
+    dense = 0.05 * (u @ v.T)
+    for k in range(n // bs):
+        s = slice(k * bs, (k + 1) * bs)
+        dense[s, s] = rng.standard_normal((bs, bs)) + 6.0 * np.eye(bs)
+    m = sp.csc_matrix(dense)
+    am = CSCMatrix(
+        (n, n), m.indptr.astype(np.int64), m.indices.astype(np.int64), m.data
+    )
+    b = np.linspace(1.0, 2.0, n)
+
+    out: dict = {"n": n, "block_size": bs, "compress_tol": 1e-8}
+    for label, tol in (("off", 0.0), ("on", 1e-8)):
+        solver = PanguLU(am, SolverOptions(
+            block_size=bs, compress_tol=tol, compress_min_order=16,
+        ))
+        solver.preprocess()
+        t0 = time.perf_counter()
+        fact = solver.factorize()
+        ms = (time.perf_counter() - t0) * 1e3
+        x = fact.solve(b)
+        filled = symbolic_symmetric(am).filled
+        bm = block_partition(filled, bs)
+        dstats = factorize_distributed(
+            bm, build_dag(bm), 3, transport=LoopbackTransport(),
+            options=NumericOptions(compress_tol=tol, compress_min_order=16),
+        )
+        out[label] = {
+            "factorize_ms": ms,
+            "blocks_compressed": fact.stats.blocks_compressed,
+            "lr_value_bytes": fact.stats.lr_value_bytes,
+            "wire_bytes_3ranks": dstats.block_bytes_sent,
+            "residual": float(solver.residual_norm(x, b)),
+        }
+    assert out["on"]["blocks_compressed"] > 0
+    assert out["on"]["wire_bytes_3ranks"] < out["off"]["wire_bytes_3ranks"]
+    assert out["on"]["residual"] <= 1e-11
+    return out
+
+
 def main() -> None:
     results = {
         regime: bench_regime(regime, density)
@@ -316,18 +395,35 @@ def main() -> None:
     precision = bench_precision()
     blocking = bench_blocking()
     placement = bench_placement()
+    compression = bench_compression()
     doc = {
-        "schema": "repro-bench-kernels/1",
+        "schema": "repro-bench-kernels/2",
         "units": "milliseconds (best of %d)" % REPEATS,
         "scale": SCALE,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        # provenance stamp: which code, when, on which matrix set
+        "git_sha": _git_sha(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "matrix_set": {
+            "regimes": {
+                name: {
+                    "generator": "random_sparse+symbolic_fill",
+                    "order": BLOCK_ORDER,
+                    "density": density,
+                }
+                for name, density in DENSITY_REGIMES.items()
+            },
+            "compression": "rank-2 block-coupled dense (filled regime)",
+        },
         "regimes": results,
         "tsolve": tsolve,
         "arena": arena,
         "precision": precision,
         "blocking": blocking,
         "placement": placement,
+        "compression": compression,
     }
     out_path = REPO_ROOT / "BENCH_kernels.json"
     out_path.write_text(json.dumps(doc, indent=2) + "\n")
@@ -380,7 +476,16 @@ def main() -> None:
         print(f"  {label:<7}  makespan {row['makespan_ms']:8.3f} ms  "
               f"{row['gflops']:8.3f} GFLOP/s  "
               f"imbalance {row['imbalance']:.3f}")
-    print(f"\nwrote {out_path}")
+    print(f"\nCOMPRESSION off vs on (n={compression['n']}, "
+          f"tol={compression['compress_tol']:.0e}):")
+    for label in ("off", "on"):
+        row = compression[label]
+        print(f"  {label:<4}  factorize {row['factorize_ms']:8.3f} ms  "
+              f"{row['blocks_compressed']:4d} blocks  "
+              f"wire {row['wire_bytes_3ranks'] / 1024:8.1f} KiB  "
+              f"residual {row['residual']:.2e}")
+    print(f"\nwrote {out_path}  (commit {doc['git_sha']}, "
+          f"{doc['timestamp']})")
 
 
 if __name__ == "__main__":

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..sparse.blockrep import CompressedBlock, lr_profit_cap
 from ..sparse.csc import CSCMatrix
 
 __all__ = [
@@ -193,6 +194,15 @@ class FactorArena:
         makes :meth:`refill` — and therefore refactorisation — a single
         in-place overwrite of the value slab with zero new block
         allocations.
+    lr_data, lr_off, lr_rank:
+        Optional low-rank slab (``None`` until :meth:`alloc_lr`): slot
+        ``s`` may hold compressed ``U``/``V`` factors in
+        ``lr_data[lr_off[s]:lr_off[s+1]]`` with the retained rank in
+        ``lr_rank[s]`` (−1 = uncompressed).  Capacities are sized from
+        the profitable-rank cap ``(nnz − 1) // (m + n)``, which bounds
+        the whole slab at strictly less than the ``data`` slab — so the
+        compressed overlay never doubles the arena, and ``refactorize``
+        re-compresses into the same storage without allocating.
     """
 
     indptr: np.ndarray
@@ -201,14 +211,57 @@ class FactorArena:
     ptr_off: np.ndarray
     val_off: np.ndarray
     gather: np.ndarray
+    lr_data: np.ndarray | None = field(default=None, repr=False)
+    lr_off: np.ndarray | None = field(default=None, repr=False)
+    lr_rank: np.ndarray | None = field(default=None, repr=False)
 
     @property
     def nbytes(self) -> int:
         """Total slab + offset-table bytes (``gather`` included)."""
-        return (
+        total = (
             self.indptr.nbytes + self.indices.nbytes + self.data.nbytes
             + self.ptr_off.nbytes + self.val_off.nbytes + self.gather.nbytes
         )
+        if self.lr_data is not None:
+            total += self.lr_data.nbytes + self.lr_off.nbytes + self.lr_rank.nbytes
+        return total
+
+    @property
+    def has_lr(self) -> bool:
+        """True once :meth:`alloc_lr` has laid out the low-rank slab."""
+        return self.lr_data is not None
+
+    def alloc_lr(self, caps: np.ndarray) -> None:
+        """Lay out the low-rank slab from per-slot entry capacities
+        (``caps[s]`` = largest ``rank · (m + n)`` worth storing for slot
+        ``s``; 0 disables compression for that slot)."""
+        num_blocks = self.ptr_off.size - 1
+        caps = np.asarray(caps, dtype=np.int64)
+        if caps.size != num_blocks:
+            raise ValueError("one capacity per storage slot required")
+        lr_off = np.zeros(num_blocks + 1, dtype=np.int64)
+        np.cumsum(caps, out=lr_off[1:])
+        self.lr_off = lr_off
+        self.lr_data = np.zeros(int(lr_off[-1]), dtype=self.data.dtype)
+        self.lr_rank = np.full(num_blocks, -1, dtype=np.int64)
+
+    def lr_capacity(self, slot: int) -> int:
+        """Entry capacity of slot ``slot``'s low-rank storage (0 when the
+        slab is unallocated or the slot was sized out)."""
+        if self.lr_off is None:
+            return 0
+        return int(self.lr_off[slot + 1] - self.lr_off[slot])
+
+    def lr_views(
+        self, slot: int, shape: tuple[int, int], rank: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(u, v)`` views over slot ``slot``'s low-rank
+        storage for the given shape and rank."""
+        m, n = shape
+        base = int(self.lr_off[slot])
+        u = self.lr_data[base : base + m * rank].reshape(m, rank)
+        v = self.lr_data[base + m * rank : base + (m + n) * rank].reshape(n, rank)
+        return u, v
 
     def slot_view(self, slot: int, shape: tuple[int, int]) -> CSCMatrix:
         """Zero-copy :class:`CSCMatrix` over storage slot ``slot``."""
@@ -235,6 +288,10 @@ class FactorArena:
             # assignment, which casts (float64 fill → float32 slab) on
             # the mixed-precision path
             self.data[...] = filled_data[self.gather]
+        if self.lr_rank is not None:
+            # stale low-rank factors describe the *old* values; the next
+            # factorization re-compresses into the same slab
+            self.lr_rank[:] = -1
 
 
 @dataclass
@@ -284,6 +341,15 @@ class BlockMatrix:
         Value dtype of every block payload (``float64`` by default,
         ``float32`` on the mixed-precision factor path).  Set by
         :func:`block_partition`.
+    lr_overlay:
+        Low-rank *overlay*: ``(bi, bj) →``
+        :class:`~repro.sparse.blockrep.CompressedBlock` for blocks that
+        currently carry a truncated ``U @ V.T`` alongside their exact
+        CSC payload.  Empty with compression disabled — the default path
+        never consults it.  The CSC payload stays authoritative (the
+        triangular solves and the to_csc reassembly read it unchanged);
+        SSSSM consumers prefer the overlay via
+        :meth:`compressed_block`.
     """
 
     n: int
@@ -298,6 +364,7 @@ class BlockMatrix:
     arena: FactorArena | None = field(default=None, repr=False)
     dtype: np.dtype = field(default_factory=lambda: np.dtype(np.float64))
     boundaries: np.ndarray | None = field(default=None, repr=False)
+    lr_overlay: dict = field(default_factory=dict, repr=False)
     _index: dict | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -338,20 +405,27 @@ class BlockMatrix:
     # ------------------------------------------------------------------
     def _attach_arena_views(self) -> None:
         """(Re)create ``blk_values`` as zero-copy views into the arena
-        slabs (and the per-block support masks from those views)."""
+        slabs (and the per-block support masks from those views), and
+        rebuild the low-rank overlay from the slab's per-slot ranks."""
         arena = self.arena
         assert arena is not None
         values: list[CSCMatrix] = []
+        overlay: dict[tuple[int, int], CompressedBlock] = {}
         for bj in range(self.nb):
             for slot in range(int(self.blk_colptr[bj]), int(self.blk_colptr[bj + 1])):
                 bi = int(self.blk_rowidx[slot])
-                values.append(
-                    arena.slot_view(
-                        slot, (self.block_order(bi), self.block_order(bj))
+                shape = (self.block_order(bi), self.block_order(bj))
+                values.append(arena.slot_view(slot, shape))
+                if arena.lr_rank is not None and arena.lr_rank[slot] >= 0:
+                    rank = int(arena.lr_rank[slot])
+                    u, v = arena.lr_views(slot, shape, rank)
+                    src_nnz = int(arena.val_off[slot + 1] - arena.val_off[slot])
+                    overlay[(bi, bj)] = CompressedBlock(
+                        shape=shape, u=u, v=v, src_nnz=src_nnz
                     )
-                )
         self.blk_values = values
         self.col_support, self.row_support = _supports(values)
+        self.lr_overlay = overlay
 
     def __getstate__(self) -> dict:
         """Serialise without the unpicklable/rebuildable parts.
@@ -371,6 +445,9 @@ class BlockMatrix:
             state["blk_values"] = None
             state["col_support"] = None
             state["row_support"] = None
+            # the overlay is views into the lr slab; rebuilt from
+            # arena.lr_rank on unpickle
+            state["lr_overlay"] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -400,6 +477,90 @@ class BlockMatrix:
         """The block at block coordinates ``(bi, bj)``, or None if empty."""
         slot = self.block_slot(bi, bj)
         return None if slot < 0 else self.blk_values[slot]
+
+    # ------------------------------------------------------------------
+    # low-rank overlay
+    # ------------------------------------------------------------------
+    def compressed_block(self, bi: int, bj: int) -> CompressedBlock | None:
+        """The low-rank overlay of block ``(bi, bj)`` or ``None`` when
+        the block is uncompressed (always ``None`` with compression
+        disabled)."""
+        return self.lr_overlay.get((bi, bj))
+
+    def enable_lr_overlay(self) -> None:
+        """Size the arena's low-rank slab so compressed factors can be
+        stored (and re-stored across ``refactorize``) without
+        allocating.  Diagonal blocks are sized out — GETRF targets are
+        never compressed.  No-op for the legacy layout or when already
+        allocated."""
+        arena = self.arena
+        if arena is None or arena.has_lr:
+            return
+        caps = np.zeros(self.num_blocks, dtype=np.int64)
+        for bj in range(self.nb):
+            for slot in range(int(self.blk_colptr[bj]), int(self.blk_colptr[bj + 1])):
+                bi = int(self.blk_rowidx[slot])
+                if bi == bj:
+                    continue
+                m, n = self.block_order(bi), self.block_order(bj)
+                nnz = int(arena.val_off[slot + 1] - arena.val_off[slot])
+                caps[slot] = lr_profit_cap(m, n, nnz) * (m + n)
+        arena.alloc_lr(caps)
+
+    def set_compressed(
+        self, bi: int, bj: int, u: np.ndarray, v: np.ndarray, *, src_nnz: int
+    ) -> CompressedBlock:
+        """Install a low-rank overlay for block ``(bi, bj)``.
+
+        When the arena's low-rank slab has capacity for this rank, the
+        factors are copied into zero-copy slab views (so refactorize
+        re-compresses alloc-free and pickling ships one buffer);
+        otherwise the overlay owns the arrays.  The exact CSC payload is
+        untouched either way.
+        """
+        m, n = int(u.shape[0]), int(v.shape[0])
+        rank = int(u.shape[1])
+        slot = self.block_slot(bi, bj)
+        arena = self.arena
+        if (
+            arena is not None
+            and arena.has_lr
+            and slot >= 0
+            and rank * (m + n) <= arena.lr_capacity(slot)
+        ):
+            uv, vv = arena.lr_views(slot, (m, n), rank)
+            uv[...] = u
+            vv[...] = v
+            arena.lr_rank[slot] = rank
+            cb = CompressedBlock(shape=(m, n), u=uv, v=vv, src_nnz=int(src_nnz))
+        else:
+            cb = CompressedBlock(shape=(m, n), u=u, v=v, src_nnz=int(src_nnz))
+        self.lr_overlay[(bi, bj)] = cb
+        return cb
+
+    def clear_compressed(self) -> None:
+        """Drop every low-rank overlay (the refinement escalation path:
+        back to exact CSC blocks everywhere)."""
+        self.lr_overlay.clear()
+        if self.arena is not None and self.arena.lr_rank is not None:
+            self.arena.lr_rank[:] = -1
+
+    def compression_stats(self) -> dict[str, int]:
+        """Counters for stats/benches: how many blocks carry an overlay,
+        the low-rank payload bytes, and the exact value bytes those
+        blocks would cost uncompressed."""
+        lr_bytes = 0
+        csc_bytes = 0
+        for (bi, bj), cb in self.lr_overlay.items():
+            lr_bytes += cb.value_nbytes
+            blk = self.block(bi, bj)
+            if blk is not None:
+                csc_bytes += blk.value_nbytes
+        return {
+            "blocks_compressed": len(self.lr_overlay),
+            "lr_value_bytes": int(lr_bytes),
+            "compressed_csc_bytes": int(csc_bytes),
+        }
 
     def blocks_in_column(self, bj: int) -> tuple[np.ndarray, list[CSCMatrix]]:
         """(block-row indices, payloads) of block column ``bj``."""

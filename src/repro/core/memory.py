@@ -61,6 +61,13 @@ class MemoryReport:
         The arena's ``gather`` map (filled-matrix position of every slab
         entry) — the price of in-place value re-injection on
         refactorisation.  0 for the per-block layout.
+    lr_value_bytes:
+        Numeric payload of the low-rank overlay (the ``U``/``V`` factor
+        pairs of compressed GESSM/TSTRF panels).  0 with compression off.
+    compressed_csc_bytes:
+        Exact CSC payload (values + within-block indices) of the blocks
+        that also carry a low-rank overlay — what a consumer that reads
+        the overlay *instead* of the CSC arrays avoids touching.
     """
 
     values_bytes: int
@@ -69,16 +76,36 @@ class MemoryReport:
     dense_equivalent_bytes: int
     plan_bytes: int = 0
     arena_refill_bytes: int = 0
+    lr_value_bytes: int = 0
+    compressed_csc_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:
-        """Full two-layer footprint, plans and refill map included."""
+        """Full two-layer footprint, plans, refill map and low-rank
+        overlay included (the overlay is *additive* storage locally: the
+        exact CSC arrays stay authoritative underneath it)."""
         return (
             self.values_bytes
             + self.layer2_index_bytes
             + self.layer1_index_bytes
             + self.plan_bytes
             + self.arena_refill_bytes
+            + self.lr_value_bytes
+        )
+
+    @property
+    def effective_traffic_bytes(self) -> int:
+        """Bytes a consumer actually reads with the overlay in force:
+        every uncompressed block at its exact CSC size, every compressed
+        block at its ``U``/``V`` size.  This — not :attr:`total_bytes` —
+        is what shrinks in the filled regime, and it is what the wire
+        accounting of the distributed engine realises (compressed panels
+        ship as ``U``/``V`` only)."""
+        return (
+            self.values_bytes
+            + self.layer2_index_bytes
+            - self.compressed_csc_bytes
+            + self.lr_value_bytes
         )
 
     @property
@@ -119,6 +146,13 @@ def memory_report(f: BlockMatrix) -> MemoryReport:
     else:
         layer1 += f.num_blocks * _PTR  # one payload pointer per block
     plans = f.plan_cache
+    lr_bytes = 0
+    comp_csc = 0
+    for (bi, bj), cb in (getattr(f, "lr_overlay", None) or {}).items():
+        lr_bytes += cb.value_nbytes
+        blk = f.block(bi, bj)
+        if blk is not None:  # values + indices a pure-overlay reader skips
+            comp_csc += blk.value_nbytes + blk.index_nbytes
     return MemoryReport(
         values_bytes=int(values),
         layer2_index_bytes=int(layer2),
@@ -126,6 +160,8 @@ def memory_report(f: BlockMatrix) -> MemoryReport:
         dense_equivalent_bytes=int(dense_eq),
         plan_bytes=int(plans.nbytes) if plans is not None else 0,
         arena_refill_bytes=int(refill),
+        lr_value_bytes=int(lr_bytes),
+        compressed_csc_bytes=int(comp_csc),
     )
 
 

@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..kernels.base import Workspace
+from ..kernels.compress import CompressPolicy, try_compress
 from ..runtime.scheduler import EventRecorder, SchedulerCore, WorkerLocal, ready_entry
 from ..kernels.plans import (
     PlanCache,
@@ -40,6 +41,7 @@ from ..kernels.plans import (
 )
 from ..kernels.registry import KernelType, get_kernel, plan_capable
 from ..kernels.selector import SelectorPolicy, TaskFeatures
+from ..sparse.blockrep import CompressedBlock, lr_profit_cap
 from .blocking import BlockMatrix
 from .dag import Task, TaskDAG, TaskType
 
@@ -51,6 +53,7 @@ __all__ = [
     "run_task",
     "execute_task",
     "resolve_plan_cache",
+    "resolve_compress",
     "ready_entry",
     "push_ready",
 ]
@@ -86,12 +89,24 @@ class NumericOptions:
         Per-task cap on SSSSM scatter-map entries; products whose plan
         would exceed it fall back to unplanned execution (memory valve).
         ``None`` removes the cap.
+    compress_tol:
+        Relative spectral tolerance for the low-rank block overlay
+        (``SolverOptions.compress_tol`` syncs here).  0 — the default —
+        disables compression entirely: no overlay is consulted or
+        written, and every engine is bit-identical to the
+        pre-compression code path.
+    compress_min_order:
+        Smallest ``min(m, n)`` a GESSM/TSTRF output block must reach
+        before a compression attempt (small blocks never amortise the
+        SVD).
     """
 
     selector: SelectorPolicy = field(default_factory=SelectorPolicy.default)
     pivot_floor: float = 1e-12
     use_plans: bool = True
     plan_entry_limit: int | None = 4_000_000
+    compress_tol: float = 0.0
+    compress_min_order: int = 32
 
 
 @dataclass
@@ -106,6 +121,8 @@ class FactorizeStats:
     pivots_replaced: int = 0
     planned_tasks: int = 0
     plan_bytes: int = 0
+    blocks_compressed: int = 0
+    lr_value_bytes: int = 0
 
     def version_histogram(self) -> dict[str, int]:
         """Count of executed tasks per ``TYPE/VERSION`` label."""
@@ -115,8 +132,33 @@ class FactorizeStats:
         return out
 
 
+def _compressed(f, bi: int, bj: int):
+    """The low-rank overlay of block ``(bi, bj)`` if the structure keeps
+    one (``BlockMatrix`` and the distributed ``_LocalView`` both do);
+    ``None`` otherwise.  ``getattr``-based so hand-built test doubles
+    without an overlay keep working."""
+    get = getattr(f, "compressed_block", None)
+    return get(bi, bj) if get is not None else None
+
+
+def _ssssm_operand(f, bi: int, bj: int):
+    """The representation an SSSSM consumer should multiply with: the
+    low-rank overlay when present, else the exact CSC block.  On remote
+    ranks only the overlay may exist (the transport shipped U/V, not the
+    CSC arrays)."""
+    cb = _compressed(f, bi, bj)
+    return cb if cb is not None else f.block(bi, bj)
+
+
 def task_features(f: BlockMatrix, task: Task) -> TaskFeatures:
-    """Structural features of a task for the decision-tree selector."""
+    """Structural features of a task for the decision-tree selector.
+
+    SSSSM operands are looked up through the representation layer:
+    compressed operands contribute their exact-payload ``nnz`` (shipped
+    as ``src_nnz`` with the factors, so local and remote ranks compute
+    identical features) plus the ``lr_operands``/``rank`` features the
+    low-rank branches of the tree split on.
+    """
     target = f.block(task.bi, task.bj)
     assert target is not None
     if task.ttype == TaskType.GETRF:
@@ -136,15 +178,19 @@ def task_features(f: BlockMatrix, task: Task) -> TaskFeatures:
             n=diag.ncols,
             density=target.density,
         )
-    a_blk = f.block(task.bi, task.k)
-    b_blk = f.block(task.k, task.bj)
-    assert a_blk is not None and b_blk is not None
+    a_rep = _ssssm_operand(f, task.bi, task.k)
+    b_rep = _ssssm_operand(f, task.k, task.bj)
+    assert a_rep is not None and b_rep is not None
+    a_rank = a_rep.rank if isinstance(a_rep, CompressedBlock) else 0
+    b_rank = b_rep.rank if isinstance(b_rep, CompressedBlock) else 0
     return TaskFeatures(
-        nnz_a=a_blk.nnz,
-        nnz_b=b_blk.nnz,
+        nnz_a=a_rep.nnz,
+        nnz_b=b_rep.nnz,
         flops=task.flops,
-        n=a_blk.ncols,
+        n=a_rep.ncols,
         density=target.density,
+        lr_operands=int(a_rank > 0) + int(b_rank > 0),
+        rank=max(a_rank, b_rank),
     )
 
 
@@ -161,6 +207,38 @@ def resolve_plan_cache(f: BlockMatrix, options: NumericOptions) -> PlanCache | N
     if cache is None:
         cache = f.plan_cache = PlanCache(ssssm_entry_limit=options.plan_entry_limit)
     return cache
+
+
+def resolve_compress(options: NumericOptions) -> CompressPolicy | None:
+    """The compression policy implied by the options, or ``None`` when
+    compression is off (``compress_tol <= 0``) — the default path, where
+    ``execute_task`` never touches the overlay machinery."""
+    if options.compress_tol <= 0.0:
+        return None
+    tree = options.selector.trees.get(KernelType.COMPRESS)
+    return CompressPolicy(
+        tol=options.compress_tol,
+        min_order=options.compress_min_order,
+        tree=tree,
+    )
+
+
+def _maybe_compress(f, task: Task, policy: CompressPolicy) -> None:
+    """Try to install a low-rank overlay for a just-computed GESSM/TSTRF
+    panel block.  Runs inside the caller's write-lock window for the
+    target slot, so the RaceChecker still sees a single writer; the
+    exact CSC payload is left untouched (the overlay is additive)."""
+    target = f.block(task.bi, task.bj)
+    if target is None:
+        return
+    m, n = target.shape
+    cap = lr_profit_cap(m, n, target.nnz)
+    feats = TaskFeatures(
+        nnz_a=target.nnz, n=min(m, n), density=target.density, rank=cap
+    )
+    cb = try_compress(target, policy, feats)
+    if cb is not None:
+        f.set_compressed(task.bi, task.bj, cb.u, cb.v, src_nnz=cb.src_nnz)
 
 
 def _try_planned(
@@ -249,17 +327,42 @@ def execute_task(
     *,
     pivot_floor: float = 0.0,
     plans: PlanCache | None = None,
+    compress: CompressPolicy | None = None,
 ) -> tuple[int, bool]:
     """Execute one task, preferring a cached execution plan.
 
     Returns ``(replaced_pivots, planned)`` — the GESP diagnostic plus
     whether a plan (rather than the unplanned kernel) ran.  This is the
     shared per-task entry point of all three engines.
+
+    With a :class:`~repro.kernels.compress.CompressPolicy` (``None`` by
+    default — the bit-identical path), two extra branches activate:
+    SSSSM tasks whose operands carry a low-rank overlay route to the
+    ``LR_V1``/``LR_V2`` kernels (never the plan path — plans address
+    exact patterns), and a just-finished GESSM/TSTRF panel is offered to
+    the compressor before the task completes, inside the same write-lock
+    window.
     """
     ktype = _TTYPE_TO_KTYPE[task.ttype]
+    if ktype is KernelType.SSSSM:
+        a_cb = _compressed(f, task.bi, task.k)
+        b_cb = _compressed(f, task.k, task.bj)
+        if a_cb is not None or b_cb is not None:
+            target = f.block(task.bi, task.bj)
+            assert target is not None
+            a_op = a_cb if a_cb is not None else f.block(task.bi, task.k)
+            b_op = b_cb if b_cb is not None else f.block(task.k, task.bj)
+            if not version.startswith("LR_"):
+                # a fixed (ablation) selector never emits the low-rank
+                # versions; the operand representation decides for it
+                version = "LR_V2" if (a_cb is not None and b_cb is not None) else "LR_V1"
+            get_kernel(ktype, version)(target, a_op, b_op, ws)
+            return 0, False
     if plans is not None and plan_capable(ktype, version):
         replaced = _try_planned(f, task, ktype, plans, pivot_floor)
         if replaced is not None:
+            if compress is not None and task.ttype in (TaskType.GESSM, TaskType.TSTRF):
+                _maybe_compress(f, task, compress)
             return replaced, True
     kernel = get_kernel(ktype, version)
     target = f.block(task.bi, task.bj)
@@ -269,6 +372,8 @@ def execute_task(
     if task.ttype in (TaskType.GESSM, TaskType.TSTRF):
         diag = f.block(task.k, task.k)
         kernel(diag, target, ws)
+        if compress is not None:
+            _maybe_compress(f, task, compress)
     else:
         a_blk = f.block(task.bi, task.k)
         b_blk = f.block(task.k, task.bj)
@@ -284,6 +389,7 @@ def run_task(
     *,
     pivot_floor: float = 0.0,
     plans: PlanCache | None = None,
+    compress: CompressPolicy | None = None,
 ) -> int:
     """Execute one task with an explicit kernel version (in place).
 
@@ -292,7 +398,9 @@ def run_task(
     :class:`FactorizeStats`.  Pass ``plans`` to route the plannable
     variants through cached execution plans (bit-identical result).
     """
-    return execute_task(f, task, version, ws, pivot_floor=pivot_floor, plans=plans)[0]
+    return execute_task(
+        f, task, version, ws, pivot_floor=pivot_floor, plans=plans, compress=compress
+    )[0]
 
 
 def push_ready(heap: list[tuple[int, int, int]], dag: TaskDAG, tid: int) -> None:
@@ -324,6 +432,7 @@ def factorize(
     stats = FactorizeStats()
     ws = Workspace()
     plans = resolve_plan_cache(f, options)
+    compress = resolve_compress(options)
     core = SchedulerCore.from_dag(dag, recorder=recorder)
     if checker is not None:
         from ..devtools.racecheck import CheckedSchedulerCore
@@ -339,7 +448,8 @@ def factorize(
         version = options.selector.select(ktype, feats)
         t0 = time.perf_counter() if (collect_timings or recorder) else 0.0
         replaced, planned = execute_task(
-            f, task, version, ws, pivot_floor=options.pivot_floor, plans=plans
+            f, task, version, ws,
+            pivot_floor=options.pivot_floor, plans=plans, compress=compress,
         )
         if collect_timings or recorder:
             t1 = time.perf_counter()
@@ -361,6 +471,10 @@ def factorize(
     stats.seconds_total = time.perf_counter() - t_start
     if plans is not None:
         stats.plan_bytes = plans.nbytes
+    if compress is not None:
+        comp = f.compression_stats()
+        stats.blocks_compressed = comp["blocks_compressed"]
+        stats.lr_value_bytes = comp["lr_value_bytes"]
     core.check("sequential")
     if checker is not None:
         checker.final_check(core)

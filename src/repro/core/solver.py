@@ -220,6 +220,12 @@ class SolverOptions:
         Per-rank relative speed factors (length ``nprocs``) describing a
         heterogeneous machine; consumed by the ``"cost"`` placement and
         the speed-aware load balancer.  ``None`` means homogeneous.
+        The string ``"auto"`` calibrates the factors from a short
+        deterministic kernel warmup at preprocessing time
+        (:func:`repro.runtime.calibrate.calibrate_rank_speeds`) and
+        stores the resolved tuple back on the options, so every later
+        consumer (placement, balancer, engine re-resolution) sees
+        concrete floats.
     load_balance:
         Apply the static time-slice balancing to the task assignment.
     engine:
@@ -283,6 +289,20 @@ class SolverOptions:
         the tasks and workers involved.  Also enabled globally by
         setting the ``REPRO_CHECK`` environment variable to a non-zero
         value.
+    compress_tol:
+        Relative spectral tolerance of the low-rank block overlay
+        (:class:`~repro.sparse.blockrep.CompressedBlock`).  0 (default)
+        disables compression — every engine is bit-identical to the
+        pre-compression solver.  When positive, GESSM/TSTRF output
+        panels that compress profitably carry a truncated ``U @ V.T``
+        overlay which downstream SSSSM consumers (and the transports)
+        use at ``O((m + n) · rank)`` cost; the factors become
+        approximate and solves recover accuracy through the adaptive
+        refinement loop, escalating to an exact decompressed
+        refactorisation if refinement stalls.
+    compress_min_order:
+        Smallest ``min(m, n)`` a block must reach before a compression
+        attempt (the SVD never amortises on small blocks).
     verify_schedule:
         Statically verify every built DAG (the factor DAG at
         preprocessing, each executable solve DAG on first use) with
@@ -302,13 +322,15 @@ class SolverOptions:
     numeric: NumericOptions = field(default_factory=NumericOptions)
     nprocs: int = 1
     placement: str | PlacementPolicy = "cyclic"
-    rank_speeds: tuple[float, ...] | None = None
+    rank_speeds: tuple[float, ...] | str | None = None
     load_balance: bool = True
     refine_steps: int = 2
     factor_dtype: str = "float64"
     refine_target_dtype: str = "float64"
     refine_tol: float = 1e-12
     refine_max_iter: int = 40
+    compress_tol: float = 0.0
+    compress_min_order: int = 32
     n_workers: int = 1
     engine: str | None = None
     trace_events: bool = False
@@ -586,6 +608,44 @@ class Factorization:
         self.total_solve_seconds += self.last_solve_seconds
         self.solve_count += 1
 
+    def compression_active(self) -> bool:
+        """True while the factors were computed with the low-rank block
+        overlay enabled (``compress_tol > 0``) — i.e. they are
+        tolerance-accurate, not exact, and solves must run the adaptive
+        refinement loop.  Judged from the options, not the overlay dict:
+        on the distributed engine the compression happened on remote
+        ranks and the master's overlay is empty, but the gathered factor
+        values are approximate all the same."""
+        return self.options.numeric.compress_tol > 0.0
+
+    def decompress(self) -> FactorizeStats:
+        """Refinement-escalation path: disable compression, drop every
+        low-rank overlay, and refactorise the current matrix exactly.
+        After this the handle behaves like a compression-off
+        factorisation (bit-identical factors to ``compress_tol=0``);
+        the caller retries the solve against the exact factors."""
+        self.options.compress_tol = 0.0
+        self.options.numeric.compress_tol = 0.0
+        if hasattr(self.blocks, "clear_compressed"):
+            self.blocks.clear_compressed()
+        return self.refactorize(self.a)
+
+    def _refine_compressed(self, x0, b, apply_fn, matvec, *, rebuild):
+        """Refinement with the compressed-factor escalation: run the
+        adaptive loop; when it stalls, decompress + refactorise exactly
+        and retry once from a fresh application of the exact factors
+        (``rebuild`` recomputes the initial iterate)."""
+        try:
+            return self._refine_adaptive(x0, b, apply_fn, matvec)
+        except RefinementStalled:
+            if not self.compression_active():
+                raise
+            self.decompress()
+            x1 = rebuild()
+            if self.factor_dtype == np.dtype(np.float32):
+                return self._refine_adaptive(x1, b, apply_fn, matvec)
+            return self._refine(x1, b, apply_fn, matvec)
+
     def solve(self, b: np.ndarray, *, recorder=None) -> np.ndarray:
         """Solve ``A x = b`` (vector or ``(n, k)`` multi-RHS panel) with
         ``refine_steps`` rounds of iterative refinement.  Pass an
@@ -600,7 +660,12 @@ class Factorization:
         mv = self.a.matmat if b.ndim == 2 else self.a.matvec
         x0 = self.apply(b, recorder=recorder)
         apply_fn = lambda r: self.apply(r, recorder=recorder)  # noqa: E731
-        if self.factor_dtype == np.dtype(np.float32):
+        if self.compression_active():
+            x = self._refine_compressed(
+                x0, b, apply_fn, mv,
+                rebuild=lambda: self.apply(b, recorder=recorder),
+            )
+        elif self.factor_dtype == np.dtype(np.float32):
             x = self._refine_adaptive(x0, b, apply_fn, mv)
         else:
             x = self._refine(x0, b, apply_fn, mv)
@@ -615,7 +680,13 @@ class Factorization:
         b = np.asarray(b, dtype=np.float64)
         if b.shape != (self.n,):
             raise ValueError(f"b has shape {b.shape}, expected ({self.n},)")
-        if self.factor_dtype == np.dtype(np.float32):
+        if self.compression_active():
+            x = self._refine_compressed(
+                self._apply_transposed(b), b,
+                self._apply_transposed, self._matvec_t,
+                rebuild=lambda: self._apply_transposed(b),
+            )
+        elif self.factor_dtype == np.dtype(np.float32):
             x = self._refine_adaptive(self._apply_transposed(b), b,
                                       self._apply_transposed, self._matvec_t)
         else:
@@ -666,6 +737,10 @@ class Factorization:
         from ..symbolic import fill_in_values
 
         refreshed = fill_in_values(self.symbolic.filled.pattern_copy(), work)
+        if getattr(self.blocks, "lr_overlay", None):
+            # stale overlays describe the previous values; the engine
+            # re-compresses (into the same arena slab) as it factorises
+            self.blocks.clear_compressed()
         if self.blocks.arena is not None:
             self.blocks.arena.refill(refreshed.data)
         else:
@@ -820,8 +895,25 @@ class PanguLU:
             arena=self.options.use_arena,
             dtype=self.options.resolved_factor_dtype(),
         )
+        if self.options.compress_tol > 0.0:
+            # sync the solver-level knobs into the numeric options the
+            # engines consume, and pre-size the arena's low-rank slab so
+            # compression (and re-compression on refactorize) is
+            # alloc-free
+            self.options.numeric.compress_tol = self.options.compress_tol
+            self.options.numeric.compress_min_order = self.options.compress_min_order
+        if self.options.numeric.compress_tol > 0.0:
+            self.blocks.enable_lr_overlay()
         self.dag = build_dag(self.blocks)
         self.grid = ProcessGrid.square(self.options.nprocs)
+        if self.options.rank_speeds == "auto":
+            from ..runtime.calibrate import calibrate_rank_speeds
+
+            # resolve to a concrete tuple *before* any policy is built:
+            # placement construction validates speeds as floats, and the
+            # Factorization handle re-resolves placements from the same
+            # options object later
+            self.options.rank_speeds = calibrate_rank_speeds(self.options.nprocs)
         placement = resolve_placement(
             self.options.placement, self.options.nprocs,
             speeds=self.options.rank_speeds,

@@ -11,6 +11,7 @@ from . import (  # noqa: F401  (imported for their registration side effect)
     kernel_purity,
     lock_discipline,
     no_block_rebind,
+    no_dense_roundtrip,
     no_direct_owner,
     no_global_blocksize,
     no_implicit_float64,
@@ -25,6 +26,7 @@ __all__ = [
     "kernel_purity",
     "lock_discipline",
     "no_block_rebind",
+    "no_dense_roundtrip",
     "no_direct_owner",
     "no_global_blocksize",
     "no_implicit_float64",

@@ -1,0 +1,68 @@
+"""``no-dense-roundtrip`` — compressed blocks stay compressed.
+
+The whole point of the low-rank block overlay
+(:class:`~repro.sparse.blockrep.CompressedBlock`) is that consumers
+operate on the ``U``/``V`` factors directly: the LR SSSSM kernels cost
+``O((m+n)·rank)`` per update precisely because they never materialise
+the ``m×n`` product.  Calling ``cb.dense()`` inside a kernel or engine
+quietly reinstates the dense cost — the solver still *works*, the
+compression just stops buying anything, which is the worst kind of
+regression (no test fails, the ablation numbers silently collapse).
+
+So any **zero-argument** ``.dense()`` method call in kernel, runtime,
+core or sparse code is flagged.  The only sanctioned round-trip is the
+``EXPAND_V1`` transition kernel in ``repro/kernels/compress.py`` (the
+escalation path decompresses *through the registry*, where the cost is
+visible in the kernel histogram), so that file is excluded.  The
+workspace scratch allocator ``Workspace.dense(which, shape, dtype)``
+takes arguments and is not matched.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..astlint import FileContext, Finding, Rule, register
+
+
+@register
+class NoDenseRoundtripRule(Rule):
+    name = "no-dense-roundtrip"
+    description = (
+        "kernels/engines consume CompressedBlock U/V factors directly; "
+        "a zero-argument .dense() call reinstates the dense cost the "
+        "overlay exists to avoid (decompress via the EXPAND_V1 kernel)"
+    )
+    files = (
+        "*/repro/kernels/*.py",
+        "*/repro/runtime/*.py",
+        "*/repro/core/*.py",
+        "*/repro/sparse/*.py",
+    )
+    exclude = (
+        # the one approved round-trip: the registry's decompress kernel
+        "*/repro/kernels/compress.py",
+        # the representation type defines .dense(); it may not call it
+        # on itself, but benchmark/accuracy helpers there are exempt
+        "*/repro/devtools/*",
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr == "dense"
+                and not node.args
+                and not node.keywords
+            ):
+                yield ctx.finding(
+                    self.name, node,
+                    "materialising a compressed block with .dense() "
+                    "reinstates the O(m·n) cost the low-rank overlay "
+                    "avoids — multiply against .u/.v directly, or "
+                    "decompress through the EXPAND_V1 registry kernel",
+                )

@@ -1,10 +1,24 @@
-"""Block sparse BLAS: the 17 kernel variants (GETRF×3, GESSM×5, TSTRF×5,
-SSSSM×4), structural FLOP counters, the kernel registry, the
-decision-tree selector of Fig. 8, and fixed-pattern execution plans
-(precomputed scatter addressing) for the sparse variants."""
+"""Block sparse BLAS: the 17 kernel variants of Table 1 (GETRF×3,
+GESSM×5, TSTRF×5, SSSSM×4) plus the low-rank extension family
+(SSSSM LR×2, COMPRESS×3), structural FLOP counters, the kernel
+registry, the decision-tree selector of Fig. 8, and fixed-pattern
+execution plans (precomputed scatter addressing) for the sparse
+variants."""
 
 from .base import SingularBlockError, Workspace, split_lu
 from .batched import gessm_batched, tstrf_batched
+from .compress import (
+    COMPRESS_VARIANTS,
+    LR_SSSSM_VARIANTS,
+    CompressPolicy,
+    compress_rsvd_v1,
+    compress_svd_v1,
+    decompress_v1,
+    lr_ssssm_flops,
+    ssssm_lr_v1,
+    ssssm_lr_v2,
+    try_compress,
+)
 from .flops import (
     gessm_flops,
     getrf_flops,
@@ -94,6 +108,16 @@ __all__ = [
     "GESSM_VARIANTS",
     "TSTRF_VARIANTS",
     "SSSSM_VARIANTS",
+    "COMPRESS_VARIANTS",
+    "LR_SSSSM_VARIANTS",
+    "CompressPolicy",
+    "compress_svd_v1",
+    "compress_rsvd_v1",
+    "decompress_v1",
+    "ssssm_lr_v1",
+    "ssssm_lr_v2",
+    "lr_ssssm_flops",
+    "try_compress",
     "DecisionTree",
     "Split",
     "TaskFeatures",

@@ -1,4 +1,5 @@
-"""Kernel registry: the 17 sparse kernel variants of Table 1.
+"""Kernel registry: the 17 sparse kernel variants of Table 1, plus the
+low-rank extension family.
 
 Each variant is addressed as ``(KernelType, version)`` — e.g.
 ``(KernelType.SSSSM, "G_V1")``.  Versions starting with ``C_`` are the
@@ -6,6 +7,12 @@ CPU-class algorithms (pure sparse loops, merge addressing); versions
 starting with ``G_`` are the GPU-class algorithms (throughput-oriented:
 dense workspaces, level scheduling, compiled offload).  The distinction
 feeds the heterogeneous cost model in :mod:`repro.runtime.costmodel`.
+
+Beyond Table 1, the compressed-block layer (ROADMAP item 3) adds a
+fifth family — ``COMPRESS`` transition kernels (truncated/randomised
+SVD and the approved decompress) — and two low-rank SSSSM versions
+(``LR_V1``/``LR_V2``) that consume :class:`~repro.sparse.blockrep.
+CompressedBlock` operands at ``O((m + n) · rank)`` cost.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from __future__ import annotations
 import enum
 from collections.abc import Callable
 
+from .compress import COMPRESS_VARIANTS, LR_SSSSM_VARIANTS
 from .getrf import GETRF_VARIANTS
 from .gessm import GESSM_VARIANTS
 from .ssssm import SSSSM_VARIANTS
@@ -35,6 +43,7 @@ class KernelType(enum.Enum):
     GESSM = "GESSM"   # lower triangular solve (block column of U)
     TSTRF = "TSTRF"   # upper triangular solve (block row of L)
     SSSSM = "SSSSM"   # sparse-sparse Schur update
+    COMPRESS = "COMPRESS"  # low-rank representation transitions
 
     def __str__(self) -> str:  # pragma: no cover - display only
         return self.value
@@ -44,12 +53,14 @@ KERNEL_REGISTRY: dict[KernelType, dict[str, Callable]] = {
     KernelType.GETRF: dict(GETRF_VARIANTS),
     KernelType.GESSM: dict(GESSM_VARIANTS),
     KernelType.TSTRF: dict(TSTRF_VARIANTS),
-    KernelType.SSSSM: dict(SSSSM_VARIANTS),
+    KernelType.SSSSM: dict(SSSSM_VARIANTS) | dict(LR_SSSSM_VARIANTS),
+    KernelType.COMPRESS: dict(COMPRESS_VARIANTS),
 }
 
 
 def kernel_names() -> list[tuple[KernelType, str]]:
-    """All 17 ``(type, version)`` pairs, in Table 1 order."""
+    """All 22 ``(type, version)`` pairs: the 17 of Table 1 in table
+    order, then the low-rank SSSSM versions and the COMPRESS family."""
     return [
         (ktype, version)
         for ktype, versions in KERNEL_REGISTRY.items()
@@ -79,4 +90,4 @@ def plan_capable(ktype: KernelType, version: str) -> bool:
     reproduces its arithmetic bit-for-bit (see :mod:`repro.kernels.plans`)."""
     from .plans import PLANNABLE_VERSIONS  # deferred: plans imports this module
 
-    return version in PLANNABLE_VERSIONS[ktype]
+    return version in PLANNABLE_VERSIONS.get(ktype, ())

@@ -49,6 +49,14 @@ class TaskFeatures:
         block order (rows of the diagonal block).
     density:
         nnz of the *output* block over its dense capacity.
+    lr_operands:
+        how many SSSSM operands are low-rank compressed (0, 1 or 2);
+        always 0 with compression disabled, keeping the default trees
+        bit-identical to the pre-compression selector.
+    rank:
+        estimated/retained low-rank rank — the actual rank of the
+        compressed operands for SSSSM, or the profitable-rank cap
+        ``(nnz − 1) // (m + n)`` when choosing a COMPRESS kernel.
     """
 
     nnz_a: int
@@ -56,6 +64,8 @@ class TaskFeatures:
     flops: int = 0
     n: int = 1
     density: float = 0.0
+    lr_operands: int = 0
+    rank: int = 0
 
     def get(self, feature: str) -> float:
         value = getattr(self, feature, None)
@@ -141,17 +151,37 @@ def default_trees() -> dict[KernelType, DecisionTree]:
     tstrf = DecisionTree(
         Split("nnz_b", 25_000.0, "C_V2", "G_V3")
     )
+    # dense-operand subtree — unchanged from the pre-compression
+    # selector so runs with compression disabled stay bit-identical
+    ssssm_dense = Split(
+        "n",
+        96.0,
+        "C_V1",
+        Split(
+            "density",
+            0.2,
+            Split("flops", 100.0, "C_V2", "G_V1"),
+            "C_V1",
+        ),
+    )
     ssssm = DecisionTree(
         Split(
+            "lr_operands",
+            1.0,
+            ssssm_dense,
+            Split("lr_operands", 2.0, "LR_V1", "LR_V2"),
+        )
+    )
+    # COMPRESS: exact SVD for small orders; for large blocks the
+    # randomised range finder wins when the profitable rank is small
+    # relative to the order, otherwise the projection step dominates
+    # and exact SVD is no worse
+    compress = DecisionTree(
+        Split(
             "n",
-            96.0,
-            "C_V1",
-            Split(
-                "density",
-                0.2,
-                Split("flops", 100.0, "C_V2", "G_V1"),
-                "C_V1",
-            ),
+            192.0,
+            "SVD_V1",
+            Split("rank", 48.0, "RSVD_V1", "SVD_V1"),
         )
     )
     return {
@@ -159,6 +189,7 @@ def default_trees() -> dict[KernelType, DecisionTree]:
         KernelType.GESSM: gessm,
         KernelType.TSTRF: tstrf,
         KernelType.SSSSM: ssssm,
+        KernelType.COMPRESS: compress,
     }
 
 
@@ -193,6 +224,7 @@ class SelectorPolicy:
                 KernelType.GESSM: "G_V1",
                 KernelType.TSTRF: "G_V1",
                 KernelType.SSSSM: "C_V2",
+                KernelType.COMPRESS: "SVD_V1",
             }
         return cls(trees=fixed_trees(versions), adaptive=False, baseline=versions)
 
@@ -219,6 +251,7 @@ def calibrate(
             KernelType.GESSM: "nnz_b",
             KernelType.TSTRF: "nnz_b",
             KernelType.SSSSM: "flops",
+            KernelType.COMPRESS: "n",
         }
 
     def best_leaf(samples: list[tuple[TaskFeatures, dict[str, float]]]) -> tuple[str, float]:

@@ -1,0 +1,79 @@
+"""Warmup calibration of per-rank speed factors (ROADMAP item-4 follow-up).
+
+``SolverOptions.rank_speeds="auto"`` resolves here during
+:meth:`~repro.core.solver.PanguLU.preprocess`: a short deterministic
+kernel warmup measures each rank slot's sustained block-kernel
+throughput and returns the normalised relative speeds the
+``CostModelPlacement`` and the speed-aware load balancer consume.
+
+On a homogeneous host every slot measures (close to) the same
+throughput and the calibrated tuple is ≈``(1.0, …, 1.0)`` — i.e. the
+same placement the ``None`` default produces.  On a machine where rank
+processes land on unequal devices (pinned cores, mixed CPU/GPU ranks),
+re-running the probe per slot captures the skew without any manual
+speed table.  The probe matrix is seeded, so the *work* is identical
+across ranks and runs; only the measured wall-clock differs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..kernels.base import Workspace
+from ..kernels.getrf import getrf_c_v1
+from ..sparse.csc import CSCMatrix
+
+__all__ = ["calibrate_rank_speeds"]
+
+#: floor on a calibrated relative speed — a glitched probe (timer
+#: hiccup, page fault storm) must not starve a rank of work entirely
+MIN_RELATIVE_SPEED = 0.05
+
+
+def _probe_block(order: int) -> CSCMatrix:
+    """Deterministic diagonally-dominant dense-ish probe block."""
+    rng = np.random.default_rng(0xCA1B)
+    dense = rng.standard_normal((order, order))
+    dense += order * np.eye(order)
+    return CSCMatrix.from_dense(dense)
+
+
+def _time_probe(blk: CSCMatrix, ws: Workspace, repeats: int) -> float:
+    """Best-of-``repeats`` seconds for one GETRF of the probe block.
+
+    The minimum (not the mean) is the standard microbenchmark estimator
+    of sustained throughput — outliers are interference, never speed.
+    """
+    template = blk.data.copy()
+    best = np.inf
+    for _ in range(repeats):
+        blk.data[...] = template  # the kernel factors in place
+        t0 = time.perf_counter()
+        getrf_c_v1(blk, ws, pivot_floor=0.0)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def calibrate_rank_speeds(
+    nprocs: int, *, order: int = 96, repeats: int = 3
+) -> tuple[float, ...]:
+    """Measure relative per-rank speeds from a short kernel warmup.
+
+    Runs ``repeats`` seeded GETRF probes per rank slot and converts the
+    best times to speeds relative to the fastest slot (fastest = 1.0,
+    floored at ``MIN_RELATIVE_SPEED``).  Costs a few milliseconds per
+    rank — noise next to a real factorisation, which is why ``"auto"``
+    can afford to run it inside every preprocess.
+    """
+    nprocs = max(1, int(nprocs))
+    blk = _probe_block(order)
+    ws = Workspace()
+    _time_probe(blk, ws, 1)  # untimed warmup: JIT caches, allocator, TLB
+    times = np.array([_time_probe(blk, ws, repeats) for _ in range(nprocs)])
+    fastest = float(times.min())
+    if fastest <= 0.0:  # timer resolution floor — call it homogeneous
+        return (1.0,) * nprocs
+    speeds = np.maximum(fastest / times, MIN_RELATIVE_SPEED)
+    return tuple(float(s) for s in speeds)

@@ -55,7 +55,13 @@ import numpy as np
 from ..core.blocking import BlockMatrix
 from ..core.dag import TaskDAG, TaskType
 from ..core.placement import CyclicPlacement, PlacementPolicy
-from ..core.numeric import _TTYPE_TO_KTYPE, NumericOptions, execute_task, task_features
+from ..core.numeric import (
+    _TTYPE_TO_KTYPE,
+    NumericOptions,
+    execute_task,
+    resolve_compress,
+    task_features,
+)
 from ..core.tsolve import (
     TSolveStats,
     _check_rhs,
@@ -67,6 +73,7 @@ from ..core.tsolve import (
 )
 from ..core.tsolve_dag import TSolveDAG, TSolveTaskType
 from ..kernels.base import Workspace
+from ..sparse.blockrep import CompressedBlock
 from ..sparse.csc import CSCMatrix
 from .scheduler import EventRecorder, SchedulerCore, ready_entry
 from .transports import (
@@ -93,6 +100,8 @@ class DistributedStats:
     kernel_choices: dict[int, str] = field(default_factory=dict)
     pivots_replaced: int = 0
     planned_tasks: int = 0
+    blocks_compressed: int = 0
+    lr_value_bytes: int = 0
 
 
 def _block_nbytes(blk: CSCMatrix) -> int:
@@ -115,9 +124,29 @@ class _LocalView:
         self.nb = self.boundaries.size - 1
         self.n = int(self.boundaries[-1])
         self._blocks: dict[tuple[int, int], CSCMatrix] = {}
+        # low-rank overlay, same contract as BlockMatrix.lr_overlay: for
+        # owned blocks it sits *beside* the exact CSC data; for received
+        # panels it may be the only representation (the owner shipped
+        # U/V instead of the CSC arrays)
+        self._compressed: dict[tuple[int, int], CompressedBlock] = {}
 
     def add(self, bi: int, bj: int, blk: CSCMatrix) -> None:
         self._blocks[(bi, bj)] = blk
+
+    def compressed_block(self, bi: int, bj: int) -> CompressedBlock | None:
+        """The low-rank overlay of ``(bi, bj)``, or ``None``."""
+        return self._compressed.get((bi, bj))
+
+    def set_compressed(
+        self, bi: int, bj: int, u: np.ndarray, v: np.ndarray, *, src_nnz: int
+    ) -> CompressedBlock:
+        """Install a ``U @ V.T`` overlay for block ``(bi, bj)``."""
+        cb = CompressedBlock(
+            shape=(self.block_order(bi), self.block_order(bj)),
+            u=u, v=v, src_nnz=int(src_nnz),
+        )
+        self._compressed[(bi, bj)] = cb
+        return cb
 
     def block(self, bi: int, bj: int) -> CSCMatrix:
         try:
@@ -149,6 +178,29 @@ class _LocalView:
         return slice(int(self.boundaries[b]), int(self.boundaries[b + 1]))
 
 
+def _block_payload(
+    view: _LocalView, tid: int, bi: int, bj: int
+) -> tuple[tuple, int]:
+    """``(payload, wire_bytes)`` for shipping block ``(bi, bj)``.
+
+    A compressed panel travels as its low-rank factors — tag ``"lr"``,
+    ``u.nbytes + v.nbytes`` real bytes (plus ``src_nnz`` so the receiver
+    computes the same :class:`~repro.kernels.selector.TaskFeatures` as
+    the owner) — everything else as the exact CSC triplet under tag
+    ``"csc"``.  This is where the compression actually saves wire
+    traffic: consumers of a rank-``r`` panel receive ``r·(m+n)`` values
+    instead of ``nnz`` values plus the index arrays.
+    """
+    cb = view.compressed_block(bi, bj)
+    if cb is not None:
+        return (tid, bi, bj, "lr", cb.u, cb.v, cb.src_nnz), (
+            cb.u.nbytes + cb.v.nbytes
+        )
+    target = view.block(bi, bj)
+    payload = (tid, bi, bj, "csc", target.indptr, target.indices, target.data)
+    return payload, _block_nbytes(target)
+
+
 def _worker_main(
     rank: int,
     endpoint: Endpoint,
@@ -163,6 +215,8 @@ def _worker_main(
     trace: bool,
     validate: bool = False,
     n_threads: int = 1,
+    compress_tol: float = 0.0,
+    compress_min_order: int = 32,
 ) -> None:
     """Worker loop: compute own tasks, exchange blocks, ship results back.
 
@@ -173,7 +227,10 @@ def _worker_main(
     runs the hybrid mode: a receiver thread absorbs inbound messages
     while ``n_threads`` compute threads share this rank's scheduler core
     (the :mod:`repro.runtime.threaded` policy, per-target-block locks
-    included).
+    included).  With ``compress_tol > 0`` the rank compresses its own
+    GESSM/TSTRF panel outputs and ships low-rank ``"lr"`` payloads to
+    their consumers; the gathered factors are unaffected (owners keep
+    and return the exact CSC arrays).
     """
     from ..core.dag import Task
     from ..kernels.plans import PlanCache
@@ -195,6 +252,14 @@ def _worker_main(
     ws = Workspace()
     # plans are rank-local: each process addresses only blocks it holds
     plans = PlanCache(ssssm_entry_limit=plan_entry_limit) if use_plans else None
+    # the compression policy is rebuilt from the two scalars the master
+    # shipped (policies hold a selector tree — cheaper to reconstruct
+    # than to pickle) against this rank's own selector instance
+    compress = resolve_compress(NumericOptions(
+        selector=selector,
+        compress_tol=compress_tol,
+        compress_min_order=compress_min_order,
+    ))
     recorder = EventRecorder() if trace else None
 
     class _T:  # entry shim so ready_entry works on the serialised tuples
@@ -223,24 +288,32 @@ def _worker_main(
         return {int(owner_of_task[s]) for s in successors[tid]} - {rank}
 
     def absorb(msg) -> None:
-        src_tid, bi, bj, indptr, indices, data = msg
-        # wrap the payload arrays directly (zero-copy): over loopback
-        # these are the sender's live block arrays — slab slices on the
-        # arena layout — and sent blocks are final (panel results are
-        # never rewritten), so aliasing them is safe; over
-        # multiprocessing they are fresh arrays off the queue
-        blk = CSCMatrix.from_views(
-            (view.block_order(bi), view.block_order(bj)),
-            indptr,
-            indices,
-            data,
-        )
-        view.add(bi, bj, blk)
-        if recorder is not None:
-            recorder.recv(
-                rank, int(owner_of_task[src_tid]), src_tid,
-                indptr.nbytes + indices.nbytes + data.nbytes,
+        src_tid, bi, bj, tag = msg[:4]
+        if tag == "lr":
+            # low-rank panel: install the overlay only — there is no CSC
+            # representation of this block on the wire, and none is
+            # needed (its sole consumers are SSSSM reads, which the
+            # LR kernels serve straight from U/V)
+            u, v, src_nnz = msg[4:]
+            view.set_compressed(bi, bj, u, v, src_nnz=src_nnz)
+            nbytes = u.nbytes + v.nbytes
+        else:
+            indptr, indices, data = msg[4:]
+            # wrap the payload arrays directly (zero-copy): over loopback
+            # these are the sender's live block arrays — slab slices on
+            # the arena layout — and sent blocks are final (panel results
+            # are never rewritten), so aliasing them is safe; over
+            # multiprocessing they are fresh arrays off the queue
+            blk = CSCMatrix.from_views(
+                (view.block_order(bi), view.block_order(bj)),
+                indptr,
+                indices,
+                data,
             )
+            view.add(bi, bj, blk)
+            nbytes = indptr.nbytes + indices.nbytes + data.nbytes
+        if recorder is not None:
+            recorder.recv(rank, int(owner_of_task[src_tid]), src_tid, nbytes)
         core.complete(src_tid)  # remote predecessor: releases local tasks
 
     def run_single_lane() -> None:
@@ -267,7 +340,8 @@ def _worker_main(
                 checker.begin_write(slot, tid, rank)
             try:
                 replaced, planned = execute_task(
-                    view, task, version, ws, pivot_floor=pivot_floor, plans=plans
+                    view, task, version, ws, pivot_floor=pivot_floor,
+                    plans=plans, compress=compress,
                 )
             finally:
                 if checker is not None:
@@ -284,12 +358,7 @@ def _worker_main(
             endpoint.on_task_executed(core.executed)
             dests = consumers(tid)
             if dests:
-                target = view.block(bi, bj)
-                payload = (
-                    tid, bi, bj,
-                    target.indptr, target.indices, target.data,
-                )
-                nbytes = _block_nbytes(target)
+                payload, nbytes = _block_payload(view, tid, bi, bj)
                 for w in dests:
                     endpoint.send(w, payload)
                     sent_msgs += 1
@@ -352,6 +421,7 @@ def _worker_main(
                             replaced, planned = execute_task(
                                 view, task, version, ws_local,
                                 pivot_floor=pivot_floor, plans=plans,
+                                compress=compress,
                             )
                         finally:
                             if checker is not None:
@@ -376,12 +446,7 @@ def _worker_main(
                         # panel results are final (the panel is its
                         # block's last writer), so the live arrays are
                         # stable by the time any consumer reads them
-                        target = view.block(bi, bj)
-                        payload = (
-                            tid, bi, bj,
-                            target.indptr, target.indices, target.data,
-                        )
-                        nbytes = _block_nbytes(target)
+                        payload, nbytes = _block_payload(view, tid, bi, bj)
                         for w in dests:
                             endpoint.send(w, payload)
                             with cond:
@@ -414,16 +479,29 @@ def _worker_main(
             run_single_lane()
         if checker is not None:
             checker.final_check(core)
-        # ship factored owned blocks home (received operand copies stay)
+        # ship factored owned blocks home (received operand copies stay);
+        # owners always keep the exact CSC arrays, so the gathered
+        # factors are compression-free regardless of compress_tol
         out = [
             (bi, bj, blk.indptr, blk.indices, blk.data)
             for (bi, bj), blk in view._blocks.items()
             if (bi, bj) in owned_keys
         ]
+        # overlays this rank computed itself (received copies would
+        # double-count the owner's work across the pool)
+        n_compressed = sum(
+            1 for key in view._compressed if key in owned_keys
+        )
+        lr_bytes = sum(
+            cb.value_nbytes
+            for key, cb in view._compressed.items()
+            if key in owned_keys
+        )
         endpoint.post_result(
             (
                 "ok", rank, int(my_tasks.size), sent_msgs, sent_bytes, out,
-                choices, pivots, planned_count, recorder,
+                choices, pivots, planned_count, n_compressed, lr_bytes,
+                recorder,
             )
         )
     except TransportStopped:  # master tore the pool down; exit quietly
@@ -518,7 +596,7 @@ def factorize_distributed(
             f.boundaries, owned_per_rank[rank], tasks, successors,
             owner_of_task, options.pivot_floor, options.use_plans,
             options.plan_entry_limit, recorder is not None, validate,
-            n_threads,
+            n_threads, options.compress_tol, options.compress_min_order,
         )
 
     transport.start(n_procs, _worker_main, args_of_rank)
@@ -548,14 +626,16 @@ def factorize_distributed(
             errors.append(f"rank {msg[1]}: {msg[2]}")
             transport.terminate()
             break
-        (_, rank, ntasks, sent, nbytes, blocks,
-         choices, pivots, planned, rank_recorder) = msg
+        (_, rank, ntasks, sent, nbytes, blocks, choices, pivots,
+         planned, n_compressed, lr_bytes, rank_recorder) = msg
         stats.tasks_per_proc[rank] = ntasks
         stats.messages_sent += sent
         stats.block_bytes_sent += nbytes
         stats.kernel_choices.update(choices)
         stats.pivots_replaced += pivots
         stats.planned_tasks += planned
+        stats.blocks_compressed += n_compressed
+        stats.lr_value_bytes += lr_bytes
         if recorder is not None and rank_recorder is not None:
             recorder.merge(rank_recorder)
         for bi, bj, _indptr, _indices, data in blocks:

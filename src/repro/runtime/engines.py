@@ -89,6 +89,19 @@ def available_engines() -> list[str]:
     return sorted(_ENGINES)
 
 
+def _compression_counters(f, options) -> tuple[int, int]:
+    """``(blocks_compressed, lr_value_bytes)`` of a local engine run —
+    read off the structure's overlay after the fact.  ``(0, 0)`` with
+    compression disabled or on structures without an overlay."""
+    if getattr(options.numeric, "compress_tol", 0.0) <= 0.0:
+        return 0, 0
+    stats = getattr(f, "compression_stats", None)
+    if stats is None:
+        return 0, 0
+    comp = stats()
+    return comp["blocks_compressed"], comp["lr_value_bytes"]
+
+
 def _resolve_checker(options, label: str):
     """A fresh :class:`~repro.devtools.racecheck.RaceChecker` when the
     options (or the ``REPRO_CHECK`` environment variable) request
@@ -121,6 +134,7 @@ def _threaded(
         n_workers=max(1, options.n_workers), recorder=recorder,
         checker=_resolve_checker(options, "threaded"),
     )
+    comp = _compression_counters(f, options)
     return FactorizeStats(
         kernel_choices=tstats.kernel_choices,
         tasks_executed=tstats.tasks_executed,
@@ -128,6 +142,8 @@ def _threaded(
         pivots_replaced=tstats.pivots_replaced,
         planned_tasks=tstats.planned_tasks,
         plan_bytes=tstats.plan_bytes,
+        blocks_compressed=comp[0],
+        lr_value_bytes=comp[1],
     )
 
 
@@ -149,6 +165,8 @@ def _distributed(
         flops_total=dag.total_flops,
         pivots_replaced=dstats.pivots_replaced,
         planned_tasks=dstats.planned_tasks,
+        blocks_compressed=dstats.blocks_compressed,
+        lr_value_bytes=dstats.lr_value_bytes,
     )
 
 
@@ -171,6 +189,8 @@ def _hybrid(
         flops_total=dag.total_flops,
         pivots_replaced=dstats.pivots_replaced,
         planned_tasks=dstats.planned_tasks,
+        blocks_compressed=dstats.blocks_compressed,
+        lr_value_bytes=dstats.lr_value_bytes,
     )
 
 

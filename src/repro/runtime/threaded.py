@@ -38,6 +38,7 @@ from ..core.numeric import (
     _TTYPE_TO_KTYPE,
     NumericOptions,
     execute_task,
+    resolve_compress,
     resolve_plan_cache,
     task_features,
 )
@@ -119,6 +120,7 @@ def factorize_threaded(
     n = len(dag.tasks)
     stats = ThreadedStats(n_workers=n_workers)
     plans = resolve_plan_cache(f, options)
+    compress = resolve_compress(options)
 
     lock = threading.Lock()
     cond = threading.Condition(lock)
@@ -157,9 +159,13 @@ def factorize_threaded(
                         if checker is not None:
                             checker.begin_write(slot, tid, wid)
                         try:
+                            # compression of a finished GESSM/TSTRF panel
+                            # happens inside execute_task, i.e. inside
+                            # this block lock — single writer preserved
                             replaced, planned = execute_task(
                                 f, task, version, ws,
                                 pivot_floor=options.pivot_floor, plans=plans,
+                                compress=compress,
                             )
                         finally:
                             if checker is not None:

@@ -1,6 +1,15 @@
-"""Sparse-matrix substrate: CSC container, Matrix Market I/O, pattern
+"""Sparse-matrix substrate: CSC container, block representations
+(exact CSC + low-rank compressed), Matrix Market I/O, pattern
 utilities, and synthetic analogues of the paper's 16 test matrices."""
 
+from .blockrep import (
+    BlockRep,
+    CompressedBlock,
+    block_kind,
+    lr_profit_cap,
+    randomized_svd,
+    truncated_svd,
+)
 from .csc import CSCMatrix, coo_to_csc
 from .generators import (
     MATRIX_GENERATORS,
@@ -30,6 +39,12 @@ from .patterns import (
 __all__ = [
     "CSCMatrix",
     "coo_to_csc",
+    "BlockRep",
+    "CompressedBlock",
+    "block_kind",
+    "lr_profit_cap",
+    "truncated_svd",
+    "randomized_svd",
     "MATRIX_GENERATORS",
     "generate",
     "paper_matrix_names",

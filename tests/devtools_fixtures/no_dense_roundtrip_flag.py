@@ -1,0 +1,12 @@
+"""Should-flag: materialising a compressed block inside an update."""
+
+
+def ssssm_sloppy(c, a_cb, b_blk, ws):
+    # round-trips the overlay to dense — the exact cost the low-rank
+    # kernels exist to avoid
+    a_dense = a_cb.dense()
+    c.data[...] -= (a_dense @ b_blk.to_dense())[c.rows, c.cols]
+
+
+def feature_peek(cb):
+    return cb.dense().sum()

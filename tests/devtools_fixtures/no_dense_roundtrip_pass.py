@@ -1,0 +1,15 @@
+"""Should-pass: U/V consumed directly; argumented .dense() is scratch."""
+import numpy as np
+
+
+def ssssm_lowrank(c, a_cb, b_blk, ws):
+    # the sanctioned form: multiply against the factors themselves
+    mid = b_blk.to_dense().T @ a_cb.v
+    left = a_cb.u
+    rows, cols = c.rows_cols()
+    c.data[...] -= np.einsum("er,er->e", left[rows], mid[cols])
+
+
+def scratch(ws):
+    # Workspace.dense takes (which, shape, dtype) — not a round-trip
+    return ws.dense("acc", (8, 8), np.float64)

@@ -1,4 +1,4 @@
-"""Tests for the 17 sparse kernel variants against dense references.
+"""Tests for the 22 sparse kernel variants against dense references.
 
 The block fixtures come from a real symbolic factorisation, so their
 patterns satisfy the fill-closure property the kernels assume.
@@ -55,8 +55,8 @@ def _dense_lu(d: np.ndarray) -> np.ndarray:
 
 
 class TestRegistry:
-    def test_seventeen_kernels(self):
-        assert len(kernel_names()) == 17
+    def test_twentytwo_kernels(self):
+        assert len(kernel_names()) == 22
 
     def test_counts_per_type(self):
         counts = {}
@@ -66,7 +66,8 @@ class TestRegistry:
             KernelType.GETRF: 3,
             KernelType.GESSM: 5,
             KernelType.TSTRF: 5,
-            KernelType.SSSSM: 4,
+            KernelType.SSSSM: 6,
+            KernelType.COMPRESS: 3,
         }
 
     def test_get_kernel_error(self):
